@@ -1,0 +1,68 @@
+"""Ablations — design-choice experiments beyond the published tables.
+
+* A1: XOM key setter vs. EL2-trap key management (the Section 7
+  argument against Ferri-et-al.-style trapping, quantified);
+* A2: the exception-frame MAC future-work extension (Section 8) — the
+  gap, the fix, and its per-syscall price;
+* A3: key switching on the user-mode *interrupt* path (Section 2.3);
+* A4: the cost of signing the saved SP in ``cpu_switch_to``;
+* A5: PAC size vs. brute-force economics across VA configurations.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import (
+    run_canary_ablation,
+    run_ctx_switch,
+    run_hardened_abi,
+    run_frame_mac_ablation,
+    run_irq_overhead,
+    run_key_mgmt_ablation,
+    run_pac_size_sweep,
+)
+
+
+def test_key_management_ablation(benchmark):
+    record = benchmark.pedantic(
+        run_key_mgmt_ablation, kwargs={"iterations": 30}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_frame_mac_ablation(benchmark):
+    record = benchmark.pedantic(
+        run_frame_mac_ablation, kwargs={"iterations": 30}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_irq_path_overhead(benchmark):
+    record = benchmark.pedantic(run_irq_overhead, rounds=1, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_ctx_switch_cost(benchmark):
+    record = benchmark.pedantic(run_ctx_switch, rounds=1, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_pac_size_sweep(benchmark):
+    record = benchmark.pedantic(run_pac_size_sweep, rounds=3, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_hardened_abi(benchmark):
+    record = benchmark.pedantic(run_hardened_abi, rounds=1, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_canary_ablation(benchmark):
+    record = benchmark.pedantic(run_canary_ablation, rounds=1, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced

@@ -1,0 +1,20 @@
+"""E7 / Section 5.4 — PAC brute force and the failure threshold.
+
+With 15 usable PAC bits an unmitigated attacker forges a pointer in an
+expected 2^14 guesses; the panic threshold caps the attempt count, so
+the success probability collapses to ~ k / 2^15.  The benchmark runs
+the real guessing attack (every guess is a QARMA authentication)
+against both configurations.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_bruteforce
+
+
+def test_bruteforce_and_threshold(benchmark):
+    record = benchmark.pedantic(
+        run_bruteforce, kwargs={"threshold": 8}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced

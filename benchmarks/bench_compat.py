@@ -1,0 +1,18 @@
+"""E11 / Section 5.5 — backwards binary compatibility.
+
+One compat-mode (HINT-space) binary, two cores: on ARMv8.3 the PAuth
+instructions are live; on ARMv8.0 they retire as NOPs, so the same
+code runs correctly with only the NOP-slide cost.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_compat
+
+
+def test_compat_binary(benchmark):
+    record = benchmark.pedantic(
+        run_compat, kwargs={"iterations": 100}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced

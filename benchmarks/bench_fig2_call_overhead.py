@@ -1,0 +1,32 @@
+"""E1 / Figure 2 — function-call overhead of the modifier schemes.
+
+Regenerates the paper's Figure 2: per-call cost (ns at 1.2 GHz) of
+1) the proposed 32-bit-SP + function-address modifier, 2) PARTS, and
+3) plain SP as supported by Clang.  The expected shape: SP-only <
+Camouflage < PARTS.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_fig2
+from repro.workloads.callbench import measure_call_cost
+
+
+def test_fig2_call_overhead(benchmark):
+    record = benchmark.pedantic(
+        run_fig2, kwargs={"iterations": 200}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced
+
+
+def test_fig2_camouflage_scheme_alone(benchmark):
+    cost = benchmark.pedantic(
+        measure_call_cost,
+        args=("camouflage",),
+        kwargs={"iterations": 100},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["overhead_ns"] = cost.overhead_ns
+    assert cost.overhead_cycles > 0

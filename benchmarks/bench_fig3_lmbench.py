@@ -1,0 +1,19 @@
+"""E2 / Figure 3 — lmbench relative latencies.
+
+Regenerates Figure 3: syscall micro-benchmark latencies under no
+protection, backward-edge CFI only, and the full design.  Expected
+shape: double-digit percent overhead on syscall-bound rows, with
+backward-only strictly between none and full.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_fig3
+
+
+def test_fig3_lmbench(benchmark):
+    record = benchmark.pedantic(
+        run_fig3, kwargs={"iterations": 20}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced

@@ -1,0 +1,21 @@
+"""E3 / Figure 4 — user-space workload overheads.
+
+Regenerates Figure 4: 1) JPEG picture resize (predominantly user
+computation), 2) Debian package build (balanced), 3) network download
+(mostly kernel), under full / backward-edge / no protection.  Expected
+shape: the user-heavy workload is nearly free, the kernel-heavy one
+pays the most, and the geometric mean of full protection stays below
+4 %.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_fig4
+
+
+def test_fig4_userspace(benchmark):
+    record = benchmark.pedantic(
+        run_fig4, kwargs={"iterations": 10}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced

@@ -1,0 +1,20 @@
+"""E4 / Section 6.1.1 — PAuth key switching cost.
+
+The paper measures ~9 cycles (avg 8.88) per key for switching between
+kernel and user PAuth keys on syscall entry/exit.  We isolate the same
+quantity as the marginal null-syscall cost between the one-key
+(backward) and three-key (full) builds, divided by the two extra keys
+and the two switch directions.
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_key_switch
+
+
+def test_key_switch_cycles_per_key(benchmark):
+    record = benchmark.pedantic(
+        run_key_switch, kwargs={"iterations": 40}, rounds=1, iterations=1
+    )
+    record_experiment(benchmark, record)
+    assert record.reproduced

@@ -1,0 +1,17 @@
+"""E8+E9 / Tables 1-2 — VMSAv8 address ranges and pointer layout.
+
+Regenerates the appendix tables from the VMSA model: the three address
+ranges selected by bit 55, the field decomposition of user (TBI on)
+and kernel (TBI off) pointers, and the resulting PAC sizes (15 bits
+kernel / 7 bits user with 48-bit VAs and 4 KiB pages).
+"""
+
+from conftest import record_experiment
+
+from repro.bench import run_vmsa_tables
+
+
+def test_vmsa_tables(benchmark):
+    record = benchmark.pedantic(run_vmsa_tables, rounds=5, iterations=1)
+    record_experiment(benchmark, record)
+    assert record.reproduced

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one artifact of the paper's
+evaluation (DESIGN.md maps experiment ids to modules).  The pytest-
+benchmark fixture times the *simulation* run; the scientific output is
+the rendered table, which is printed (visible with ``-s`` /
+``--capture=no``) and attached to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+
+def record_experiment(benchmark, record):
+    """Attach an ExperimentRecord to the benchmark and print it."""
+    benchmark.extra_info["experiment"] = record.experiment_id
+    benchmark.extra_info["paper_claim"] = record.paper_claim
+    benchmark.extra_info["measured"] = record.measured
+    benchmark.extra_info["reproduced"] = record.reproduced
+    print()
+    print(record.summary())
+    for table in record.tables:
+        table.print()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The integrity-protected syscall ABI (paper §8 future work).
+
+Demonstrates the paper's final future-work item on the banked-keys ISA
+extension this reproduction models: user space signs a buffer pointer
+with its own DA key; the kernel flips the key-select flag, verifies the
+pointer under the *caller's* key, and only then dereferences it.
+
+Run of play:
+
+1. the honest process signs its buffer pointer — the kernel reads the
+   buffer and returns its first word;
+2. the attacker passes a raw (unsigned) pointer aimed at kernel-chosen
+   memory — authentication fails inside the kernel and the process is
+   killed instead of turning the kernel into a confused deputy.
+"""
+
+from repro.arch import isa
+from repro.arch.assembler import Assembler
+from repro.cfi.hardened_abi import (
+    SECURE_WRITE_SYSCALL,
+    build_secure_syscall,
+    emit_user_sign,
+)
+from repro.kernel import System, layout
+from repro.kernel.fault import TaskKilled
+from repro.kernel.syscalls import SyscallSpec
+
+
+def run(sign_pointer):
+    system = System(
+        profile="full",
+        key_management="banked-isa",
+        syscalls=[SyscallSpec(SECURE_WRITE_SYSCALL, build_secure_syscall)],
+    )
+    system.map_user_stack()
+    buffer = system.map_user_data()
+    system.mmu.write_u64(buffer, 0xFEED_FACE, 1)
+
+    user = Assembler(layout.USER_TEXT_BASE)
+    user.fn("main")
+    user.mov_imm(0, buffer)
+    if sign_pointer:
+        emit_user_sign(user, 0)
+    user.mov_imm(8, system.syscall_numbers[SECURE_WRITE_SYSCALL])
+    user.emit(isa.Svc(0), isa.Hlt())
+    program = user.assemble()
+    system.load_user_program(program)
+
+    label = "signed pointer" if sign_pointer else "raw pointer (attack)"
+    try:
+        system.run_user(system.tasks.current, program.address_of("main"))
+        print(f"  {label}: kernel returned {system.cpu.regs.read(0):#x}")
+    except TaskKilled as killed:
+        print(f"  {label}: DETECTED — {killed}")
+
+
+def main():
+    print(__doc__)
+    run(sign_pointer=True)
+    run(sign_pointer=False)
+
+
+if __name__ == "__main__":
+    main()

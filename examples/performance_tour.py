@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Performance tour: regenerate the paper's evaluation figures quickly.
+
+Runs scaled-down versions of every performance experiment (Figures 2-4
+and the key-switch micro-benchmark of §6.1.1) and prints the tables.
+The full-size runs live in ``benchmarks/``; this script is the
+human-paced version.
+"""
+
+from repro.bench import run_fig2, run_fig3, run_fig4, run_key_switch
+
+
+def main():
+    print(__doc__)
+    for record in (
+        run_fig2(iterations=100),
+        run_fig3(iterations=10),
+        run_fig4(iterations=5),
+        run_key_switch(iterations=10),
+    ):
+        print(record.summary())
+        for table in record.tables:
+            table.print()
+
+
+if __name__ == "__main__":
+    main()

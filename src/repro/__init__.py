@@ -1,0 +1,20 @@
+"""Camouflage: hardware-assisted CFI for the ARM Linux kernel — a
+simulation-based reproduction of the DAC 2020 paper.
+
+The package is layered bottom-up:
+
+* :mod:`repro.qarma` — the QARMA-64 cipher (the PAC algorithm);
+* :mod:`repro.arch` — AArch64 pointer layout, registers, PAuth, ISA, CPU;
+* :mod:`repro.mem` / :mod:`repro.hyp` — two-stage MMU and hypervisor XOM;
+* :mod:`repro.elfimage` / :mod:`repro.boot` — kernel images, the signed-
+  pointer table, and the key-generating bootloader;
+* :mod:`repro.kernel` — the mini Linux-like kernel (tasks, syscalls,
+  scheduler, modules, workqueues, VFS);
+* :mod:`repro.cfi` — the paper's contribution: modifier schemes,
+  instrumentation, accessors and protection profiles;
+* :mod:`repro.analysis` — the Coccinelle-like survey and binary scans;
+* :mod:`repro.attacks` — the attack-simulation framework;
+* :mod:`repro.workloads` / :mod:`repro.bench` — the evaluation harness.
+"""
+
+__version__ = "1.0.0"

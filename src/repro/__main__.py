@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the quickstart exploit demo (unprotected vs. full);
+* ``figures`` — regenerate Figures 2–4 (scaled down) with ASCII charts;
+* ``attacks`` — run the full security matrix;
+* ``experiments`` — run every experiment and print the summaries;
+* ``survey`` — the §5.3 function-pointer survey;
+* ``boot`` — boot a kernel under a chosen profile and print its layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args):
+    import importlib.util
+    import os
+
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "examples",
+        "quickstart.py",
+    )
+    if os.path.exists(path):
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    # Installed without the examples tree: run the core of the demo.
+    from repro.attacks import OpsTableSwapAttack
+
+    for profile in ("none", "full"):
+        print(OpsTableSwapAttack().run(profile))
+    return 0
+
+
+def _cmd_figures(args):
+    from repro.bench import run_fig2, run_fig3, run_fig4
+
+    for record in (
+        run_fig2(iterations=args.iterations * 4),
+        run_fig3(iterations=max(5, args.iterations // 2)),
+        run_fig4(iterations=max(3, args.iterations // 4)),
+    ):
+        print(record.summary())
+        for table in record.tables:
+            table.print()
+    return 0
+
+
+def _cmd_attacks(_args):
+    from repro.bench import run_security_matrix
+
+    record, campaign = run_security_matrix()
+    print(campaign.render())
+    print()
+    print(record.summary())
+    return 0 if record.reproduced else 1
+
+
+def _cmd_experiments(_args):
+    from repro.bench import (
+        run_bruteforce,
+        run_canary_ablation,
+        run_compat,
+        run_ctx_switch,
+        run_fig2,
+        run_fig3,
+        run_fig4,
+        run_frame_mac_ablation,
+        run_hardened_abi,
+        run_irq_overhead,
+        run_key_mgmt_ablation,
+        run_key_switch,
+        run_pac_size_sweep,
+        run_replay_matrix,
+        run_survey,
+        run_vmsa_tables,
+    )
+
+    runners = (
+        lambda: run_fig2(iterations=100),
+        lambda: run_fig3(iterations=10),
+        lambda: run_fig4(iterations=5),
+        lambda: run_key_switch(iterations=10),
+        run_survey,
+        run_replay_matrix,
+        run_bruteforce,
+        run_vmsa_tables,
+        lambda: run_compat(iterations=60),
+        run_key_mgmt_ablation,
+        run_frame_mac_ablation,
+        run_irq_overhead,
+        run_ctx_switch,
+        run_pac_size_sweep,
+        run_hardened_abi,
+        run_canary_ablation,
+    )
+    failures = 0
+    for runner in runners:
+        record = runner()
+        print(record.summary())
+        print()
+        failures += 0 if record.reproduced else 1
+    print(f"{len(runners) - failures}/{len(runners)} reproduced")
+    return 1 if failures else 0
+
+
+def _cmd_survey(_args):
+    from repro.bench import run_survey
+
+    record = run_survey()
+    print(record.summary())
+    for table in record.tables:
+        table.print()
+    return 0 if record.reproduced else 1
+
+
+def _cmd_boot(args):
+    from repro.kernel import System
+
+    system = System(
+        profile=args.profile, key_management=args.key_management
+    )
+    image = system.kernel_image
+    print(f"booted profile {system.profile.describe()!r}")
+    print(f"key management: {system.key_management}")
+    print(f"keys switched per entry/exit: {system.profile.keys_to_switch()}")
+    print("sections:")
+    for name, section in sorted(
+        image.sections.items(), key=lambda item: item[1].base
+    ):
+        print(
+            f"  {name:16s} {section.base:#018x}  {section.size:#8x}"
+            f"  {'W' if section.permissions.w_el1 else 'RO'}"
+        )
+    if system.key_setter_address:
+        print(f"key setter at {system.key_setter_address:#x}")
+    print(f"syscalls: {sorted(system.syscall_numbers)}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Camouflage (DAC 2020) simulation-based reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="quickstart exploit demo")
+    figures = sub.add_parser("figures", help="regenerate Figures 2-4")
+    figures.add_argument("--iterations", type=int, default=20)
+    sub.add_parser("attacks", help="run the security matrix")
+    sub.add_parser("experiments", help="run every experiment")
+    sub.add_parser("survey", help="the Section 5.3 survey")
+    boot = sub.add_parser("boot", help="boot a kernel and show its layout")
+    boot.add_argument(
+        "--profile", default="full", choices=("none", "backward", "full")
+    )
+    boot.add_argument(
+        "--key-management",
+        default="xom",
+        choices=("xom", "el2-trap", "banked-isa"),
+    )
+
+    args = parser.parse_args(argv)
+    handler = {
+        "demo": _cmd_demo,
+        "figures": _cmd_figures,
+        "attacks": _cmd_attacks,
+        "experiments": _cmd_experiments,
+        "survey": _cmd_survey,
+        "boot": _cmd_boot,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Static analysis: source survey, semantic patch, binary key scan."""
+
+from repro.analysis.binscan import ScanReport, Violation, scan_image, scan_instructions
+from repro.analysis.corpus import (
+    PAPER_MEMBER_COUNT,
+    PAPER_MULTI_COUNT,
+    PAPER_TYPE_COUNT,
+    generate_linux_like_corpus,
+)
+from repro.analysis.csource import (
+    AccessSite,
+    CCompoundType,
+    CMember,
+    MemberKind,
+    SourceCorpus,
+)
+from repro.analysis.semanticpatch import PatchResult, SemanticPatch
+from repro.analysis.survey import SurveyReport, survey_function_pointers
+
+__all__ = [
+    "ScanReport",
+    "Violation",
+    "scan_image",
+    "scan_instructions",
+    "generate_linux_like_corpus",
+    "PAPER_MEMBER_COUNT",
+    "PAPER_TYPE_COUNT",
+    "PAPER_MULTI_COUNT",
+    "SourceCorpus",
+    "CCompoundType",
+    "CMember",
+    "MemberKind",
+    "AccessSite",
+    "SemanticPatch",
+    "PatchResult",
+    "SurveyReport",
+    "survey_function_pointers",
+]

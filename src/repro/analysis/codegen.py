@@ -1,0 +1,91 @@
+"""From survey results to generated kernel code (Section 5.3 closed loop).
+
+The paper's deployment story is a pipeline: the Coccinelle search finds
+the run-time-assigned function-pointer members, the semantic patch
+rewrites their access sites to get/set form, and the build emits the
+inline accessors that sign and authenticate.  This module implements
+the last leg — turning a surveyed corpus into a loadable module of
+generated accessors — so the whole §5.3 flow runs end to end in the
+simulation:
+
+    corpus -> survey -> semantic patch -> accessor codegen -> LKM
+           -> load-time verification + pointer signing -> round trips
+
+Only the lone-pointer types need generated accessors (the paper expects
+multi-pointer types to be converted to const ops structures instead);
+:func:`generate_protected_module` follows that split.
+"""
+
+from __future__ import annotations
+
+from repro.arch.assembler import Assembler
+from repro.analysis.semanticpatch import SemanticPatch
+from repro.analysis.survey import survey_function_pointers
+from repro.cfi.accessors import AccessorGenerator
+from repro.elfimage.image import ImageBuilder
+from repro.errors import ReproError
+
+__all__ = ["GeneratedAccessors", "generate_protected_module"]
+
+_MODULE_BASE = 0xFFFF_0000_1000_0000
+
+
+class GeneratedAccessors:
+    """The codegen result: a module image plus its accessor map."""
+
+    def __init__(self, image, accessor_map, ktypes):
+        self.image = image
+        #: (type_name, member_name) -> (getter_symbol, setter_symbol)
+        self.accessor_map = accessor_map
+        #: type_name -> registered KStructType
+        self.ktypes = ktypes
+
+    @property
+    def accessor_count(self):
+        return 2 * len(self.accessor_map)
+
+
+def generate_protected_module(
+    system, corpus, max_types=24, base=_MODULE_BASE, name="gen_accessors"
+):
+    """Generate, per surveyed lone-pointer type, its get/set accessors.
+
+    Registers each selected type with the system's type registry (one
+    protected function-pointer member at offset 0, the noise members
+    after it), emits the accessors the semantic patch names, and links
+    them into a loadable module image.
+
+    Returns a :class:`GeneratedAccessors`; load the image through
+    ``system.modules`` as any other LKM.
+    """
+    report = survey_function_pointers(corpus)
+    lone_types = sorted(
+        name_ for name_, count in report.per_type.items() if count == 1
+    )[:max_types]
+    if not lone_types:
+        raise ReproError("corpus has no lone-pointer types to protect")
+
+    patch = SemanticPatch()
+    generator = AccessorGenerator(system.profile)
+    asm = Assembler(base)
+    accessor_map = {}
+    ktypes = {}
+    for type_name in lone_types:
+        ctype = corpus.types[type_name]
+        member = ctype.runtime_function_pointers()[0]
+        ktype = system.registry.define(
+            type_name,
+            [(member.name, 0, "fn", True), ("state", 8, "scalar", False)],
+            size=16,
+        )
+        ktypes[type_name] = ktype
+        getter = patch.getter_name(type_name, member.name)
+        setter = patch.setter_name(type_name, member.name)
+        field = ktype.field(member.name)
+        generator.emit_setter(asm, setter, field)
+        generator.emit_getter(asm, getter, field)
+        accessor_map[(type_name, member.name)] = (getter, setter)
+
+    builder = ImageBuilder(name, base)
+    builder.add_text(".text", asm.assemble())
+    return GeneratedAccessors(builder.build(), accessor_map, ktypes)

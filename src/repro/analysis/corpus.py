@@ -1,0 +1,146 @@
+"""Synthetic kernel-source corpus, calibrated to the paper's survey.
+
+The paper reports, for Linux 5.2 (Section 5.3):
+
+* **1285** function-pointer members assigned at run time,
+* residing in **504** different compound types,
+* of which **229** contain more than one such member (and should be
+  converted to const operations structures), leaving 275 lone pointers
+  for direct PAuth protection.
+
+We cannot ship the kernel source, so the generator below produces a
+deterministic corpus with exactly that population — 275 single-pointer
+types, 135 types with four members and 94 with five (135*4 + 94*5 =
+1010; 275 + 1010 = 1285) — plus realistic *noise* the survey must not
+count: const ops tables, init-only function pointers, data pointers and
+scalars.  Every run-time-assigned member also gets plausible read and
+write access sites for the semantic-patch engine to rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.csource import (
+    AccessSite,
+    CCompoundType,
+    CMember,
+    MemberKind,
+    SourceCorpus,
+)
+
+__all__ = [
+    "PAPER_MEMBER_COUNT",
+    "PAPER_TYPE_COUNT",
+    "PAPER_MULTI_COUNT",
+    "generate_linux_like_corpus",
+]
+
+#: Published survey results for Linux 5.2 (paper Section 5.3).
+PAPER_MEMBER_COUNT = 1285
+PAPER_TYPE_COUNT = 504
+PAPER_MULTI_COUNT = 229
+
+_SUBSYSTEMS = ("drivers", "fs", "net", "sound", "block", "crypto")
+
+
+def _noise_members(index):
+    """Members that must not be counted by the survey."""
+    out = [
+        CMember("flags", MemberKind.SCALAR),
+        CMember("private_data", MemberKind.DATA_POINTER, assigned_at_runtime=True),
+    ]
+    if index % 3 == 0:
+        # An init-only function pointer (assigned statically, never at
+        # run time) — outside the survey's population.
+        out.append(CMember("init_cb", MemberKind.FUNCTION_POINTER))
+    return out
+
+
+def generate_linux_like_corpus(
+    member_count=PAPER_MEMBER_COUNT,
+    type_count=PAPER_TYPE_COUNT,
+    multi_count=PAPER_MULTI_COUNT,
+):
+    """Build the calibrated corpus.
+
+    The default parameters reproduce the paper's numbers exactly; other
+    values distribute members the same way (singles first, then the
+    remainder spread over the multi-pointer types as evenly as
+    possible) so property tests can exercise arbitrary populations.
+    """
+    singles = type_count - multi_count
+    remaining = member_count - singles
+    if singles < 0 or (multi_count > 0 and remaining < 2 * multi_count):
+        raise ValueError("population is not realisable")
+    if multi_count == 0 and remaining != 0:
+        raise ValueError("population is not realisable")
+
+    corpus = SourceCorpus()
+    line = 10
+
+    def add_sites(type_name, member_name, file_name):
+        nonlocal line
+        corpus.add_site(
+            AccessSite(file_name, line, type_name, member_name, is_write=True)
+        )
+        corpus.add_site(
+            AccessSite(file_name, line + 4, type_name, member_name, is_write=False)
+        )
+        line += 10
+
+    # Single run-time function-pointer types: the 275 lone pointers.
+    for index in range(singles):
+        name = f"lone_cb_ops_{index}"
+        subsystem = _SUBSYSTEMS[index % len(_SUBSYSTEMS)]
+        members = [
+            CMember("callback", MemberKind.FUNCTION_POINTER, assigned_at_runtime=True)
+        ] + _noise_members(index)
+        corpus.add_type(
+            CCompoundType(name, members, subsystem=subsystem)
+        )
+        add_sites(name, "callback", f"{subsystem}/lone_{index}.c")
+
+    # Multi-pointer types: distribute the remaining members evenly.
+    if multi_count:
+        base = remaining // multi_count
+        extra = remaining - base * multi_count
+        for index in range(multi_count):
+            count = base + (1 if index < extra else 0)
+            name = f"driver_ops_{index}"
+            subsystem = _SUBSYSTEMS[index % len(_SUBSYSTEMS)]
+            members = [
+                CMember(
+                    f"op{slot}",
+                    MemberKind.FUNCTION_POINTER,
+                    assigned_at_runtime=True,
+                )
+                for slot in range(count)
+            ] + _noise_members(index)
+            corpus.add_type(CCompoundType(name, members, subsystem=subsystem))
+            for slot in range(count):
+                add_sites(name, f"op{slot}", f"{subsystem}/multi_{index}.c")
+
+    # Noise types the survey must skip entirely.
+    for index in range(type_count // 2):
+        corpus.add_type(
+            CCompoundType(
+                f"const_file_operations_{index}",
+                [
+                    CMember("read", MemberKind.FUNCTION_POINTER),
+                    CMember("write", MemberKind.FUNCTION_POINTER),
+                ],
+                is_const_ops=True,
+                subsystem="fs",
+            )
+        )
+    for index in range(type_count // 4):
+        corpus.add_type(
+            CCompoundType(
+                f"plain_state_{index}",
+                [
+                    CMember("refcount", MemberKind.SCALAR),
+                    CMember("next", MemberKind.DATA_POINTER, assigned_at_runtime=True),
+                ],
+                subsystem="kernel",
+            )
+        )
+    return corpus

@@ -1,0 +1,204 @@
+"""VMSAv8 virtual address layout (paper Appendix A, Tables 1 and 2).
+
+AArch64 pointers are 64-bit values, but the virtual address space uses at
+most 48 bits (52 with ARMv8.2-LVA).  Bit 55 selects the translation
+table: TTBR0 (user) for 0, TTBR1 (kernel) for 1.  The bits between the
+top of the VA range and bit 55 must be a sign extension of bit 55;
+addresses violating that are invalid and fault on use.  Optionally the
+top byte (bits 56-63) is ignored ("TBI", address tagging) — Linux
+enables TBI for user addresses and disables it for kernel addresses.
+
+The pointer authentication code (PAC) lives exactly in the meaningless
+sign-extension bits, which is why the usable PAC size depends on the
+address-space configuration: 48-bit VAs with kernel TBI off leave
+15 bits (54:48 plus 63:56), the configuration the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "VMSAConfig",
+    "AddressKind",
+    "PointerLayout",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+class AddressKind:
+    """Classification of a 64-bit value per Table 1 of the paper."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    INVALID = "invalid"
+
+
+@dataclass(frozen=True)
+class VMSAConfig:
+    """One VMSAv8 run-time configuration.
+
+    Parameters
+    ----------
+    va_bits:
+        Size of each translation-table address range in bits (the usable
+        low-order address bits).  Ubuntu-style configurations use 48;
+        the maximum without LVA is 48, with LVA 52.
+    page_shift:
+        log2 of the translation granule (12 for the usual 4 KiB pages).
+    tbi_user, tbi_kernel:
+        Whether top-byte-ignore is enabled for user / kernel addresses.
+        Linux enables it for user space and (outside KASAN debug builds)
+        disables it for kernel space.
+    """
+
+    va_bits: int = 48
+    page_shift: int = 12
+    tbi_user: bool = True
+    tbi_kernel: bool = False
+
+    def __post_init__(self):
+        if not 36 <= self.va_bits <= 52:
+            raise ValueError(f"va_bits must be in 36..52, got {self.va_bits}")
+        if self.page_shift not in (12, 14, 16):
+            raise ValueError("page_shift must be 12, 14 or 16")
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, pointer):
+        """Classify ``pointer`` as user, kernel or invalid (Table 1).
+
+        A pointer is valid when every bit between bit 55 and the top of
+        the VA range replicates bit 55 (and, when TBI is enabled for its
+        range, the top byte is ignored entirely).
+        """
+        pointer &= _MASK64
+        select = (pointer >> 55) & 1
+        tbi = self.tbi_kernel if select else self.tbi_user
+        top = 56 if tbi else 64
+        ext_bits = top - self.va_bits
+        if ext_bits <= 0:
+            return AddressKind.KERNEL if select else AddressKind.USER
+        ext = (pointer >> self.va_bits) & ((1 << ext_bits) - 1)
+        expect = ((1 << ext_bits) - 1) if select else 0
+        # Bit 55 itself always participates in the extension check.
+        if ext == expect:
+            return AddressKind.KERNEL if select else AddressKind.USER
+        return AddressKind.INVALID
+
+    def is_canonical(self, pointer):
+        """True when the pointer passes the sign-extension check."""
+        return self.classify(pointer) != AddressKind.INVALID
+
+    def canonicalize(self, pointer):
+        """Rewrite the extension bits so the pointer becomes canonical.
+
+        This mirrors what the ``XPAC*`` strip instructions do: bit 55 is
+        preserved and the bits above the VA range are replaced by its
+        replication (the top byte is preserved when TBI covers it).
+        """
+        pointer &= _MASK64
+        select = (pointer >> 55) & 1
+        tbi = self.tbi_kernel if select else self.tbi_user
+        top = 56 if tbi else 64
+        ext_bits = top - self.va_bits
+        if ext_bits <= 0:
+            return pointer
+        ext_mask = ((1 << ext_bits) - 1) << self.va_bits
+        pointer &= ~ext_mask & _MASK64
+        if select:
+            pointer |= ext_mask
+        return pointer
+
+    # -- PAC geometry -------------------------------------------------------
+
+    def pac_field_bits(self, kernel):
+        """Bit positions available for a PAC in this configuration.
+
+        The PAC occupies the sign-extension bits excluding bit 55 (the
+        range selector) and, when TBI is enabled, excluding the tag byte
+        56-63.  Returned as a sorted tuple of bit indices.
+        """
+        tbi = self.tbi_kernel if kernel else self.tbi_user
+        top = 56 if tbi else 64
+        bits = [b for b in range(self.va_bits, top) if b != 55]
+        return tuple(bits)
+
+    def pac_size(self, kernel):
+        """Number of PAC bits for kernel or user pointers.
+
+        With the typical Linux configuration (48-bit VA, kernel TBI
+        off), kernel pointers carry 15 PAC bits — the figure the paper's
+        brute-force analysis (Section 5.4) uses.
+        """
+        return len(self.pac_field_bits(kernel))
+
+    def layout(self, kernel):
+        """Return the :class:`PointerLayout` for one address range."""
+        return PointerLayout(config=self, kernel=kernel)
+
+    # -- address range table (Table 1) --------------------------------------
+
+    def address_ranges(self):
+        """Reproduce Table 1: the three VMSAv8 address ranges.
+
+        Returns a list of (low, high, bit55, usage) tuples ordered from
+        the top of the address space downwards, for the configured
+        ``va_bits``.
+        """
+        kernel_low = (_MASK64 << self.va_bits) & _MASK64
+        user_high = (1 << self.va_bits) - 1
+        return [
+            (kernel_low, _MASK64, 1, "Kernel"),
+            (user_high + 1, kernel_low - 1, None, "Invalid"),
+            (0, user_high, 0, "User"),
+        ]
+
+
+@dataclass(frozen=True)
+class PointerLayout:
+    """Field decomposition of one pointer class (Table 2)."""
+
+    config: VMSAConfig
+    kernel: bool
+
+    @property
+    def tag_bits(self):
+        """Bit positions of the ignored top-byte tag (empty if TBI off)."""
+        tbi = self.config.tbi_kernel if self.kernel else self.config.tbi_user
+        return tuple(range(56, 64)) if tbi else ()
+
+    @property
+    def extension_bits(self):
+        """Sign-extension bit positions (excluding bit 55 and the tag)."""
+        return self.config.pac_field_bits(self.kernel)
+
+    @property
+    def page_number_bits(self):
+        return tuple(range(self.config.page_shift, self.config.va_bits))
+
+    @property
+    def page_offset_bits(self):
+        return tuple(range(0, self.config.page_shift))
+
+    def describe(self):
+        """Render the Table 2 row set for this pointer class."""
+        fields = []
+        if self.tag_bits:
+            fields.append(("tag (ignored)", self.tag_bits[-1], self.tag_bits[0]))
+        ext = self.extension_bits
+        high_ext = [b for b in ext if b > 55]
+        low_ext = [b for b in ext if b < 55]
+        if high_ext:
+            fields.append(("sign extension", high_ext[-1], high_ext[0]))
+        fields.append(("translation select (bit 55)", 55, 55))
+        if low_ext:
+            fields.append(("sign extension", low_ext[-1], low_ext[0]))
+        fields.append(
+            ("page number", self.page_number_bits[-1], self.page_number_bits[0])
+        )
+        fields.append(
+            ("page offset", self.page_offset_bits[-1], self.page_offset_bits[0])
+        )
+        return fields

@@ -1,0 +1,50 @@
+"""Attack simulations: ROP, replay, pointer overwrites, brute force."""
+
+from repro.attacks.base import ArbitraryMemoryPrimitive, Attack, AttackResult
+from repro.attacks.bruteforce import (
+    BruteForceAttack,
+    expected_guesses,
+    success_probability,
+)
+from repro.attacks.fnptr import JopGadgetAttack, WritableFnPtrAttack
+from repro.attacks.frametamper import FrameTamperAttack, frame_mac_profile
+from repro.attacks.keyleak import (
+    ModuleMrsAttack,
+    OracleProbeAttack,
+    SctlrDisableAttack,
+    XomReadAttack,
+)
+from repro.attacks.opstable import (
+    CredPointerAttack,
+    OpsTableSwapAttack,
+    RodataWriteAttack,
+)
+from repro.attacks.replay import ReplayAttack, cross_thread_replay_accepted
+from repro.attacks.rop import RopInjectionAttack
+from repro.attacks.runner import AttackCampaign, CampaignResult, default_attacks
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "ArbitraryMemoryPrimitive",
+    "RopInjectionAttack",
+    "ReplayAttack",
+    "cross_thread_replay_accepted",
+    "WritableFnPtrAttack",
+    "JopGadgetAttack",
+    "FrameTamperAttack",
+    "frame_mac_profile",
+    "OpsTableSwapAttack",
+    "RodataWriteAttack",
+    "CredPointerAttack",
+    "BruteForceAttack",
+    "expected_guesses",
+    "success_probability",
+    "XomReadAttack",
+    "ModuleMrsAttack",
+    "SctlrDisableAttack",
+    "OracleProbeAttack",
+    "AttackCampaign",
+    "CampaignResult",
+    "default_attacks",
+]

@@ -1,0 +1,103 @@
+"""Attack framework: run exploits against configurable defenses.
+
+Every attack is a scenario with a victim kernel built under a given
+:class:`~repro.cfi.policy.ProtectionProfile`.  The attacker model is
+the paper's (Section 3.1): full control of user space plus an
+arbitrary kernel read/write primitive, but no writes to read-only /
+XOM memory (those go through the hypervisor's stage 2 and are denied).
+
+An attack reports one of three outcomes:
+
+* ``succeeded`` — attacker-chosen control flow executed;
+* ``detected`` — a PAuth authentication failure surfaced as a fault
+  (task killed / counted toward the panic threshold);
+* ``blocked`` — the primitive itself was refused (e.g. writing rodata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PermissionFault
+
+__all__ = [
+    "AttackResult",
+    "Attack",
+    "ArbitraryMemoryPrimitive",
+    "ATTACK_SCRATCH",
+]
+
+#: Fixed kernel-memory slot attacks use as an in-memory marker/counter
+#: (register markers would be wiped by the kernel-exit GPR restore).
+from repro.kernel import layout as _layout
+
+ATTACK_SCRATCH = _layout.KERNEL_PERCPU_BASE + 0xF00
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    attack: str
+    profile: str
+    outcome: str  # "succeeded" | "detected" | "blocked"
+    detail: str = ""
+
+    @property
+    def succeeded(self):
+        return self.outcome == "succeeded"
+
+    @property
+    def stopped(self):
+        return self.outcome in ("detected", "blocked")
+
+    def __str__(self):
+        return f"[{self.profile:>8}] {self.attack}: {self.outcome} — {self.detail}"
+
+
+class ArbitraryMemoryPrimitive:
+    """The adversary's kernel read/write primitive.
+
+    Reads and writes go through the MMU *at EL1* but must respect
+    stage-2 (hypervisor) restrictions — memory corruption bugs run as
+    kernel code, and even kernel code cannot write sealed frames.
+    """
+
+    def __init__(self, system):
+        self.system = system
+
+    def read_u64(self, va):
+        return self.system.mmu.read_u64(va, 1)
+
+    def try_read_u64(self, va):
+        """Read, returning (ok, value-or-reason)."""
+        try:
+            return True, self.read_u64(va)
+        except PermissionFault as fault:
+            return False, str(fault)
+
+    def write_u64(self, va, value):
+        self.system.mmu.write_u64(va, value, 1)
+
+    def try_write_u64(self, va, value):
+        try:
+            self.write_u64(va, value)
+            return True, ""
+        except PermissionFault as fault:
+            return False, str(fault)
+
+
+class Attack:
+    """Base class: build a victim system, then exploit it."""
+
+    name = "abstract"
+
+    def build_system(self, profile, **kwargs):
+        """Construct the victim; override to add attack-specific text."""
+        from repro.kernel.system import System
+
+        return System(profile=profile, **kwargs)
+
+    def run(self, profile):
+        """Execute the attack; returns an :class:`AttackResult`."""
+        raise NotImplementedError

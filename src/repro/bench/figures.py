@@ -1,0 +1,87 @@
+"""ASCII figure rendering for the regenerated paper figures.
+
+The paper's evaluation figures are bar charts; a terminal reproduction
+should produce bars, not just tables.  :class:`BarChart` renders
+horizontal bars scaled to a fixed width, with grouped series support
+for the multi-profile figures (3 and 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["BarChart"]
+
+_BAR = "█"
+_WIDTH = 44
+
+
+class BarChart:
+    """Horizontal ASCII bar chart.
+
+    Values are scaled so the largest bar spans ``width`` characters.
+    Bars can be grouped (one label, several series rows) to mirror the
+    paper's grouped-bar figures.
+    """
+
+    def __init__(self, title, unit="", width=_WIDTH):
+        if width < 8:
+            raise ReproError("chart width too small")
+        self.title = title
+        self.unit = unit
+        self.width = width
+        self._groups = []  # (label, [(series, value), ...])
+
+    def add_bar(self, label, value):
+        """A single ungrouped bar."""
+        self._groups.append((label, [("", float(value))]))
+        return self
+
+    def add_group(self, label, series):
+        """A grouped set of bars: ``series`` is [(name, value), ...]."""
+        self._groups.append(
+            (label, [(name, float(value)) for name, value in series])
+        )
+        return self
+
+    def _max_value(self):
+        return max(
+            (value for _, series in self._groups for _, value in series),
+            default=0.0,
+        )
+
+    def render(self):
+        peak = self._max_value()
+        label_width = max(
+            [len(label) for label, _ in self._groups]
+            + [
+                len(name)
+                for _, series in self._groups
+                for name, _ in series
+            ]
+            + [4]
+        )
+        lines = [self.title, "=" * len(self.title)]
+        for label, series in self._groups:
+            grouped = len(series) > 1 or series[0][0]
+            if grouped:
+                lines.append(f"{label}:")
+            for name, value in series:
+                bar_len = (
+                    0 if peak == 0 else max(1, round(self.width * value / peak))
+                    if value > 0
+                    else 0
+                )
+                caption = name if grouped else label
+                suffix = f" {value:.2f}{self.unit}"
+                lines.append(
+                    f"  {caption.ljust(label_width)} "
+                    f"{_BAR * bar_len}{suffix}"
+                )
+        return "\n".join(lines)
+
+    def print(self):
+        print()
+        print(self.render())
+        print()
+        return self

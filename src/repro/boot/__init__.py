@@ -1,0 +1,6 @@
+"""Boot chain: FDT parameters, key generation, XOM key setter."""
+
+from repro.boot.bootloader import KEY_SETTER_SYMBOL, Bootloader
+from repro.boot.fdt import DeviceTree
+
+__all__ = ["Bootloader", "KEY_SETTER_SYMBOL", "DeviceTree"]

@@ -1,0 +1,49 @@
+"""A minimal flattened-device-tree stand-in.
+
+On AArch64 the firmware passes early-boot parameters — e.g. the KASLR
+seed — to the kernel through the FDT.  The paper's bootloader generates
+the kernel PAuth keys "much like the random seed for kernel ASLR"
+(Section 5).  We model the FDT as a typed key/value store under
+``/chosen`` so the boot chain has the same shape.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["DeviceTree"]
+
+
+class DeviceTree:
+    """Nested dict of nodes with string-keyed properties."""
+
+    def __init__(self):
+        self._nodes = {"/": {}}
+
+    def add_node(self, path):
+        if not path.startswith("/"):
+            raise ReproError("device tree paths are absolute")
+        self._nodes.setdefault(path, {})
+        return self
+
+    def set_property(self, path, name, value):
+        self.add_node(path)
+        self._nodes[path][name] = value
+        return self
+
+    def get_property(self, path, name, default=None):
+        node = self._nodes.get(path)
+        if node is None:
+            return default
+        return node.get(name, default)
+
+    def nodes(self):
+        return sorted(self._nodes)
+
+    # -- conventional boot properties ------------------------------------------
+
+    def set_kaslr_seed(self, seed):
+        return self.set_property("/chosen", "kaslr-seed", seed & ((1 << 64) - 1))
+
+    def kaslr_seed(self):
+        return self.get_property("/chosen", "kaslr-seed", 0)

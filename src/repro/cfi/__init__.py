@@ -1,0 +1,40 @@
+"""Camouflage CFI: modifier schemes, instrumentation, accessors, profiles."""
+
+from repro.cfi.accessors import AccessorGenerator, field_modifier, sign_field_value
+from repro.cfi.instrument import Compiler, frame_pop, frame_push
+from repro.cfi.keys import KeyAllocation, KeyRole
+from repro.cfi.modifiers import (
+    SCHEMES,
+    CamouflageScheme,
+    ModifierScheme,
+    PARTSScheme,
+    SPOnlyScheme,
+)
+from repro.cfi.policy import (
+    PROFILE_BACKWARD,
+    PROFILE_FULL,
+    PROFILE_NONE,
+    ProtectionProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "AccessorGenerator",
+    "field_modifier",
+    "sign_field_value",
+    "Compiler",
+    "frame_push",
+    "frame_pop",
+    "KeyAllocation",
+    "KeyRole",
+    "ModifierScheme",
+    "SPOnlyScheme",
+    "PARTSScheme",
+    "CamouflageScheme",
+    "SCHEMES",
+    "ProtectionProfile",
+    "PROFILE_NONE",
+    "PROFILE_BACKWARD",
+    "PROFILE_FULL",
+    "profile_by_name",
+]

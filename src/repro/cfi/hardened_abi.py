@@ -1,0 +1,80 @@
+"""Integrity-protected syscall ABI (paper Section 8, future work).
+
+The paper's final future-work item: "an integrity-protected kernel
+system call ABI where kernel and user space protection can maintain
+PAuth security guarantees across privilege boundaries", noting this
+"might also require a processor flag to select the active — i.e.,
+kernel or user — set of keys".
+
+With the banked-keys ISA extension modelled in this reproduction
+(``key_management="banked-isa"``, feature ``pauth-ks``), both key sets
+are resident simultaneously, so the kernel *can* authenticate pointers
+signed by user space:
+
+* user space signs a buffer pointer with its own DA key under the
+  agreed ABI modifier before passing it to the kernel
+  (:func:`emit_user_sign`);
+* the kernel handler flips ``APKSSEL_EL1`` to the user bank, runs
+  ``AUTDA`` — verifying the pointer under the *caller's* key — and
+  flips back before touching any kernel-signed state
+  (:func:`build_secure_syscall`).
+
+A classic confused-deputy attack (passing a raw kernel or unsigned
+pointer as the "buffer") now fails authentication inside the kernel
+instead of dereferencing attacker-chosen memory.
+"""
+
+from __future__ import annotations
+
+from repro.arch import isa
+
+__all__ = [
+    "ABI_POINTER_TAG",
+    "emit_user_sign",
+    "build_secure_syscall",
+    "SECURE_WRITE_SYSCALL",
+]
+
+#: The modifier constant both sides of the ABI agree on for buffer
+#: arguments (a per-argument discriminator in a full design).
+ABI_POINTER_TAG = 0x5AB0
+
+SECURE_WRITE_SYSCALL = "secure_write"
+
+
+def emit_user_sign(asm, reg):
+    """User-side half of the ABI: sign Xreg with the DA key.
+
+    Emits ``movz x10, #tag; pacda xreg, x10`` — the pointer now carries
+    a PAC under the *user process's* DA key.
+    """
+    asm.emit(isa.Movz(10, ABI_POINTER_TAG, 0), isa.Pac("da", reg, 10))
+    return asm
+
+
+def build_secure_syscall(asm, ctx):
+    """Kernel-side half: ``sys_secure_write(signed_buf) -> first word``.
+
+    Requires the banked-keys extension: the handler selects the user
+    bank to authenticate the caller-signed pointer, then returns to the
+    kernel bank before executing any further instrumented code.  On a
+    non-``pauth-ks`` core the APKSSEL write is undefined — the syscall
+    cannot be built into a stock kernel, matching the paper's remark
+    that the hardened ABI needs the ISA extension.
+    """
+
+    def body(a):
+        # Select the caller's key bank and authenticate its pointer.
+        a.emit(
+            isa.Movz(9, 1, 0),
+            isa.Msr("APKSSEL_EL1", 9),
+            isa.Movz(10, ABI_POINTER_TAG, 0),
+            isa.Aut("da", 0, 10),
+            isa.Movz(9, 0, 0),
+            isa.Msr("APKSSEL_EL1", 9),
+        )
+        # Use the now-canonical (or poisoned) pointer.
+        a.emit(isa.Ldr(0, 0, 0))
+
+    ctx.compiler.function(asm, f"sys_{SECURE_WRITE_SYSCALL}", body)
+    return asm

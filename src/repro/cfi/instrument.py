@@ -1,0 +1,158 @@
+"""The simulated compiler: prologue/epilogue instrumentation.
+
+Emits the function skeletons of Listings 1–3:
+
+* unprotected (Listing 1): ``stp fp, lr`` / ``ldp fp, lr`` frame record;
+* instrumented (Listings 2–3): the profile's modifier scheme signs LR
+  before the store and authenticates it after the load;
+* leaf functions omit the frame and the instrumentation, matching the
+  compiler optimization the paper notes ("except for functions
+  optimized to omit their stack frame");
+* compat builds (Section 5.5) use only HINT-space encodings: the
+  modifier is computed into X16 and LR shuttled through X17 around
+  ``PACIB1716``/``AUTIB1716``, so the same binary is a sequence of NOPs
+  plus ordinary code on an ARMv8.0 core.
+
+The same patterns are exposed as :func:`frame_push` / :func:`frame_pop`
+macros for hand-written assembly (SIMD routines, ``cpu_switch_to``,
+exception entry), mirroring the paper's assembler macros.
+"""
+
+from __future__ import annotations
+
+from repro.arch import isa
+from repro.arch.isa import SP
+from repro.arch.registers import FP, IP1, LR
+from repro.cfi.keys import KeyRole
+from repro.errors import ReproError
+
+__all__ = ["Compiler", "frame_push", "frame_pop"]
+
+
+def frame_push(scheme=None, key="ib", function_label=None, compat=False):
+    """Prologue macro: optionally sign LR, then push the frame record.
+
+    Mirrors the paper's ``frame_push`` assembler macro (Section 5.2).
+    """
+    out = []
+    if scheme is not None:
+        out.extend(
+            _scheme_edge(scheme, key, function_label, authenticate=False, compat=compat)
+        )
+    out.append(isa.StpPre(FP, LR, SP, -16))
+    out.append(isa.MovReg(FP, SP))
+    return out
+
+
+def frame_pop(scheme=None, key="ib", function_label=None, compat=False):
+    """Epilogue macro: pop the frame record, then authenticate LR."""
+    out = [isa.LdpPost(FP, LR, SP, 16)]
+    if scheme is not None:
+        out.extend(
+            _scheme_edge(scheme, key, function_label, authenticate=True, compat=compat)
+        )
+    return out
+
+
+def _scheme_edge(scheme, key, function_label, authenticate, compat):
+    if function_label is None and scheme.modifier_setup("x") is not None:
+        raise ReproError("this scheme needs the function label")
+    if not compat:
+        if authenticate:
+            return scheme.epilogue(function_label, key)
+        return scheme.prologue(function_label, key)
+    setup = scheme.modifier_setup(function_label)
+    if setup is None:
+        op = isa.AutSp(key) if authenticate else isa.PacSp(key)
+        return [op]
+    # HINT-space: value lives in X17, modifier in X16.  The setup
+    # sequences already leave the modifier in X16 (IP0); X17 (IP1) is a
+    # scratch they use *before* LR moves in, so the order below is safe.
+    op = isa.Aut1716(key) if authenticate else isa.Pac1716(key)
+    return list(setup) + [isa.MovReg(IP1, LR), op, isa.MovReg(LR, IP1)]
+
+
+class Compiler:
+    """Builds instrumented functions into an :class:`Assembler`.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`~repro.cfi.policy.ProtectionProfile` selecting the
+        modifier scheme (or none) and the compat mode.
+    """
+
+    def __init__(self, profile):
+        self.profile = profile
+
+    @property
+    def _scheme(self):
+        return self.profile.scheme
+
+    @property
+    def _key(self):
+        return self.profile.key_for(KeyRole.BACKWARD)
+
+    def function(self, asm, name, body, leaf=False):
+        """Emit one function.
+
+        Parameters
+        ----------
+        asm:
+            Target :class:`~repro.arch.assembler.Assembler`.
+        name:
+            Function label.
+        body:
+            Either an iterable of instructions or a callable receiving
+            the assembler (for bodies that need labels).
+        leaf:
+            Leaf functions keep LR in the register and get no frame and
+            no instrumentation — backward-edge CFI adds cost only to
+            frame-carrying functions.
+        """
+        asm.fn(name)
+        scheme = None if leaf else self._scheme
+        if not leaf:
+            asm.emit(
+                *frame_push(
+                    scheme,
+                    self._key,
+                    function_label=name,
+                    compat=self.profile.compat,
+                )
+            )
+        if callable(body):
+            body(asm)
+        else:
+            asm.emit(*body)
+        if not leaf:
+            asm.emit(
+                *frame_pop(
+                    scheme,
+                    self._key,
+                    function_label=name,
+                    compat=self.profile.compat,
+                )
+            )
+        asm.emit(isa.Ret())
+        return asm
+
+    def call_chain(self, asm, base_name, depth, leaf_body=(), mid_body=()):
+        """Emit ``depth`` nested functions, each calling the next.
+
+        ``base_name0`` calls ``base_name1`` ... the deepest is a leaf.
+        Used by workloads to model realistic kernel call depths.
+        """
+        if depth < 1:
+            raise ReproError("call chain depth must be >= 1")
+        for level in range(depth):
+            name = f"{base_name}{level}"
+            if level == depth - 1:
+                self.function(asm, name, list(leaf_body), leaf=True)
+            else:
+                def body(a, _next=f"{base_name}{level + 1}"):
+                    a.emit(*mid_body)
+                    a.emit(isa.Bl(_next))
+
+                self.function(asm, name, body)
+        return f"{base_name}0"

@@ -1,0 +1,202 @@
+"""PAuth modifier schemes for backward-edge CFI (paper Sections 4.2, 5.2).
+
+A modifier is the cryptographic salt mixed into every PAC.  Its
+construction decides how far an attacker can *replay* a correctly
+signed pointer in another context.  Three published constructions are
+modelled, matching Figure 2 of the paper:
+
+1. :class:`SPOnlyScheme` — the plain compiler scheme (Qualcomm
+   whitepaper, Clang/GCC ``-msign-return-address``): modifier = SP.
+   Cheapest, but SP values repeat heavily on the kernel's shallow,
+   4 KiB-aligned task stacks, enabling replay within and across
+   threads.
+2. :class:`PARTSScheme` — PARTS (Liljestrand et al., USENIX Sec '19):
+   modifier = 48-bit LTO-assigned function id with the low 16 SP bits
+   on top.  Strong per-function binding, but needs link-time
+   optimization (incompatible with loadable modules) and its 16 SP bits
+   replay across kernel stacks separated by multiples of 64 KiB.
+3. :class:`CamouflageScheme` — this paper: modifier = low 32 bits of SP
+   concatenated with the low 32 bits of the function address, computed
+   from PC-relative ADR with no LTO requirement (Listing 3).
+
+Each scheme both *emits* the instrumentation instruction sequences (for
+the simulated compiler) and *computes* the modifier value in Python
+(for analyses and replay experiments).
+"""
+
+from __future__ import annotations
+
+from repro.arch import isa
+from repro.arch.isa import SP
+from repro.arch.registers import IP0, IP1, LR
+
+__all__ = [
+    "ModifierScheme",
+    "SPOnlyScheme",
+    "PARTSScheme",
+    "CamouflageScheme",
+    "SCHEMES",
+]
+
+_MASK32 = 0xFFFFFFFF
+_MASK48 = (1 << 48) - 1
+
+
+class ModifierScheme:
+    """Base class for return-address modifier constructions."""
+
+    name = "abstract"
+
+    def prologue(self, function_label, key):
+        """Instructions that sign LR at function entry."""
+        raise NotImplementedError
+
+    def epilogue(self, function_label, key):
+        """Instructions that authenticate LR before RET."""
+        raise NotImplementedError
+
+    def compute(self, sp, function_address, function_id=None):
+        """The modifier value this scheme produces (host-side model)."""
+        raise NotImplementedError
+
+    def instruction_overhead(self):
+        """(prologue count, epilogue count) of added instructions."""
+        return (
+            len(self.prologue("f", "ib")),
+            len(self.epilogue("f", "ib")),
+        )
+
+
+class SPOnlyScheme(ModifierScheme):
+    """Modifier = SP, as emitted by stock Clang/GCC (Listing 2).
+
+    Uses the HINT-space PACIASP/AUTIASP forms, so the instrumented
+    binary also runs on pre-8.3 cores.
+    """
+
+    name = "sp-only"
+
+    def __init__(self, key="ia"):
+        self.key = key
+
+    def modifier_setup(self, function_label):
+        """SP is used directly by the dedicated *SP instruction forms."""
+        return None
+
+    def prologue(self, function_label, key=None):
+        return [isa.PacSp(key or self.key)]
+
+    def epilogue(self, function_label, key=None):
+        return [isa.AutSp(key or self.key)]
+
+    def compute(self, sp, function_address, function_id=None):
+        return sp
+
+    def replay_window(self, sp_a, sp_b, fn_a, fn_b):
+        """True when a pointer signed in context A replays in B."""
+        return sp_a == sp_b
+
+
+class PARTSScheme(ModifierScheme):
+    """PARTS: 48-bit LTO function id + low 16 bits of SP.
+
+    The function id is a link-time constant, so the prologue must
+    materialise it with a MOVZ + two MOVK before combining with SP —
+    the extra setup visible in Figure 2.  The 16 SP bits repeat across
+    kernel stacks laid out 64 KiB apart (Section 7).
+    """
+
+    name = "parts"
+
+    def __init__(self, key="ib", function_ids=None):
+        self.key = key
+        self._function_ids = function_ids if function_ids is not None else {}
+        self._next_id = 1
+
+    def function_id(self, function_label):
+        """LTO-style unique id per function (assigned on first use)."""
+        if function_label not in self._function_ids:
+            self._function_ids[function_label] = self._next_id
+            self._next_id += 1
+        return self._function_ids[function_label]
+
+    def _materialize_id(self, function_label):
+        fid = self.function_id(function_label) & _MASK48
+        return [
+            isa.Movz(IP0, fid & 0xFFFF, 0),
+            isa.Movk(IP0, (fid >> 16) & 0xFFFF, 16),
+            isa.Movk(IP0, (fid >> 32) & 0xFFFF, 32),
+        ]
+
+    def modifier_setup(self, function_label):
+        return self._materialize_id(function_label) + [
+            isa.MovReg(IP1, SP),
+            isa.Bfi(IP0, IP1, 48, 16),
+        ]
+
+    def prologue(self, function_label, key=None):
+        return self.modifier_setup(function_label) + [
+            isa.Pac(key or self.key, LR, IP0)
+        ]
+
+    def epilogue(self, function_label, key=None):
+        return self.modifier_setup(function_label) + [
+            isa.Aut(key or self.key, LR, IP0)
+        ]
+
+    def compute(self, sp, function_address, function_id=None):
+        fid = (function_id or 0) & _MASK48
+        return fid | ((sp & 0xFFFF) << 48)
+
+    def replay_window(self, sp_a, sp_b, fn_a, fn_b):
+        return fn_a == fn_b and (sp_a & 0xFFFF) == (sp_b & 0xFFFF)
+
+
+class CamouflageScheme(ModifierScheme):
+    """This paper's scheme: low-32 SP over low-32 function address.
+
+    Emits exactly Listing 3: ``adr ip0, fn; mov ip1, sp;
+    bfi ip0, ip1, #32, #32; pacib lr, ip0``.  The ADR is PC-relative,
+    so no link-time optimization is needed and loadable modules work
+    unchanged; the function address restricts replay to call sites of
+    the *same* function at the *same* 4 GiB-folded SP.
+    """
+
+    name = "camouflage"
+
+    def __init__(self, key="ib"):
+        self.key = key
+
+    def modifier_setup(self, function_label):
+        return [
+            isa.Adr(IP0, function_label),
+            isa.MovReg(IP1, SP),
+            isa.Bfi(IP0, IP1, 32, 32),
+        ]
+
+    def prologue(self, function_label, key=None):
+        return self.modifier_setup(function_label) + [
+            isa.Pac(key or self.key, LR, IP0)
+        ]
+
+    def epilogue(self, function_label, key=None):
+        return self.modifier_setup(function_label) + [
+            isa.Aut(key or self.key, LR, IP0)
+        ]
+
+    def compute(self, sp, function_address, function_id=None):
+        return (function_address & _MASK32) | ((sp & _MASK32) << 32)
+
+    def replay_window(self, sp_a, sp_b, fn_a, fn_b):
+        return (
+            (fn_a & _MASK32) == (fn_b & _MASK32)
+            and (sp_a & _MASK32) == (sp_b & _MASK32)
+        )
+
+
+#: The three Figure 2 contenders by name.
+SCHEMES = {
+    "sp-only": SPOnlyScheme,
+    "parts": PARTSScheme,
+    "camouflage": CamouflageScheme,
+}

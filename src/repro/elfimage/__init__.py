@@ -1,0 +1,27 @@
+"""Minimal ELF-like images with the ``.pauth_ptrs`` signed-pointer table."""
+
+from repro.elfimage.image import (
+    DataSectionBuilder,
+    Image,
+    ImageBuilder,
+    Section,
+)
+from repro.elfimage.loader import FrameAllocator, ImageLoader, LoadedImage
+from repro.elfimage.ptrtable import (
+    SignedPointerEntry,
+    field_modifier,
+    sign_in_place,
+)
+
+__all__ = [
+    "Image",
+    "ImageBuilder",
+    "Section",
+    "DataSectionBuilder",
+    "FrameAllocator",
+    "ImageLoader",
+    "LoadedImage",
+    "SignedPointerEntry",
+    "field_modifier",
+    "sign_in_place",
+]

@@ -1,0 +1,203 @@
+"""Kernel and module images: sections, symbols, signed-pointer table.
+
+A deliberately small model of what the kernel build system produces: an
+image is an ordered set of page-aligned sections (.text, .rodata,
+.data) with a symbol table and the paper's ``.pauth_ptrs`` table
+(Section 4.6).  Text sections carry assembled
+:class:`~repro.arch.assembler.Program` objects; data sections carry
+bytes built incrementally with symbol allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.mem.pagetable import Permissions
+
+__all__ = ["Section", "Image", "ImageBuilder", "DataSectionBuilder"]
+
+_PAGE = 4096
+
+
+def _page_align(value):
+    return (value + _PAGE - 1) & ~(_PAGE - 1)
+
+
+@dataclass
+class Section:
+    """One loadable section."""
+
+    name: str
+    base: int
+    size: int
+    permissions: Permissions
+    data: bytes = b""
+    program: object = None  # assembled Program for text sections
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+
+@dataclass
+class Image:
+    """A linked kernel or module image, ready for loading."""
+
+    name: str
+    base: int
+    sections: dict = field(default_factory=dict)
+    symbols: dict = field(default_factory=dict)
+    pauth_ptrs: list = field(default_factory=list)
+
+    def section(self, name):
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise ReproError(f"{self.name}: no section {name!r}") from None
+
+    def address_of(self, symbol):
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise ReproError(f"{self.name}: unknown symbol {symbol!r}") from None
+
+    @property
+    def end(self):
+        return max((s.end for s in self.sections.values()), default=self.base)
+
+    def text_instructions(self):
+        """All (address, instruction) pairs across text sections.
+
+        This is what the static verifier scans at module-load time.
+        """
+        out = []
+        for section in self.sections.values():
+            if section.program is not None:
+                out.extend(section.program.instructions)
+        return out
+
+
+class DataSectionBuilder:
+    """Accumulates objects into a data/rodata section with symbols."""
+
+    def __init__(self, name):
+        self.name = name
+        self._chunks = []
+        self._size = 0
+        self.symbols = {}  # symbol -> offset
+
+    def add_bytes(self, symbol, data, align=8):
+        """Append raw bytes under a symbol; returns the offset."""
+        pad = (-self._size) % align
+        if pad:
+            self._chunks.append(b"\x00" * pad)
+            self._size += pad
+        offset = self._size
+        if symbol is not None:
+            if symbol in self.symbols:
+                raise ReproError(f"duplicate data symbol {symbol!r}")
+            self.symbols[symbol] = offset
+        self._chunks.append(bytes(data))
+        self._size += len(data)
+        return offset
+
+    def add_u64(self, symbol, value):
+        return self.add_bytes(symbol, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def add_zeros(self, symbol, size, align=8):
+        return self.add_bytes(symbol, b"\x00" * size, align=align)
+
+    @property
+    def size(self):
+        return self._size
+
+    def build(self):
+        return b"".join(self._chunks)
+
+
+class ImageBuilder:
+    """Lays sections out from a base address, page by page.
+
+    Text sections must be added as assembled programs whose base was
+    obtained from :meth:`next_base` (the builder cannot relocate
+    instructions).  Data sections are built via
+    :class:`DataSectionBuilder`.
+    """
+
+    def __init__(self, name, base):
+        if base % _PAGE:
+            raise ReproError("image base must be page-aligned")
+        self.name = name
+        self.base = base
+        self._cursor = base
+        self._image = Image(name=name, base=base)
+
+    def next_base(self, align=_PAGE):
+        """Address where the next section will start."""
+        return (self._cursor + align - 1) & ~(align - 1)
+
+    def add_text(self, name, program, el0_executable=False):
+        """Add an assembled program as an executable section."""
+        if program.base != self.next_base():
+            raise ReproError(
+                f"{name}: program assembled at {program.base:#x}, "
+                f"expected {self.next_base():#x}"
+            )
+        permissions = Permissions(
+            r_el1=True,
+            x_el1=True,
+            r_el0=el0_executable,
+            x_el0=el0_executable,
+        )
+        section = Section(
+            name=name,
+            base=program.base,
+            size=_page_align(max(program.size, 4)),
+            permissions=permissions,
+            program=program,
+        )
+        self._register(section)
+        for symbol, address in program.symbols.items():
+            self._define(symbol, address)
+        return section
+
+    def add_data(self, name, builder, writable=True, el0=False):
+        """Add a built data section (rodata when ``writable`` is False)."""
+        base = self.next_base()
+        data = builder.build()
+        permissions = Permissions(
+            r_el1=True,
+            w_el1=writable,
+            r_el0=el0,
+            w_el0=el0 and writable,
+        )
+        section = Section(
+            name=name,
+            base=base,
+            size=_page_align(max(builder.size, 8)),
+            permissions=permissions,
+            data=data,
+        )
+        self._register(section)
+        for symbol, offset in builder.symbols.items():
+            self._define(symbol, base + offset)
+        return section
+
+    def add_signed_pointer(self, entry):
+        """Record a ``.pauth_ptrs`` row (paper Section 4.6)."""
+        self._image.pauth_ptrs.append(entry)
+
+    def _register(self, section):
+        if section.name in self._image.sections:
+            raise ReproError(f"duplicate section {section.name!r}")
+        self._image.sections[section.name] = section
+        self._cursor = section.end
+
+    def _define(self, symbol, address):
+        if symbol in self._image.symbols:
+            raise ReproError(f"duplicate symbol {symbol!r}")
+        self._image.symbols[symbol] = address
+
+    def build(self):
+        return self._image

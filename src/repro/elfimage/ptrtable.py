@@ -1,0 +1,87 @@
+"""The ``.pauth_ptrs`` section: statically initialized signed pointers.
+
+Most protected kernel pointers are assigned at run time through the
+instrumented setters, but some are initialized statically (e.g. a
+``DECLARE_WORK`` callback).  Their PACs cannot be computed at build
+time because the keys do not exist until boot.  The paper (Section 4.6)
+adds an ELF section listing every such pointer; at early boot — and at
+module load — the table is walked and each pointer is signed in place.
+
+Each entry records:
+
+1. the location of the to-be-signed pointer (as section + offset, so it
+   survives relocation),
+2. the PAuth key to use, and
+3. the 16-bit constant identifying the (type, member) pair, from which
+   the full modifier is formed together with the containing object's
+   address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["SignedPointerEntry", "field_modifier", "sign_in_place"]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SignedPointerEntry:
+    """One row of the signed-pointer table.
+
+    Parameters
+    ----------
+    section:
+        Name of the section holding the pointer (usually ``.data``).
+    offset:
+        Byte offset of the pointer slot within that section.
+    key:
+        PAuth key name (``"ia"``, ``"ib"`` or ``"db"``).
+    constant:
+        The 16-bit type+member discriminator of the modifier.
+    object_offset:
+        Offset of the *containing object's* start relative to the
+        pointer slot (negative of the member offset); the modifier
+        binds the object address, not the slot address.
+    """
+
+    section: str
+    offset: int
+    key: str
+    constant: int
+    object_offset: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.constant <= 0xFFFF:
+            raise ReproError(f"modifier constant {self.constant:#x} not 16-bit")
+        if self.key not in ("ia", "ib", "da", "db"):
+            raise ReproError(f"invalid PAuth key {self.key!r}")
+
+
+def field_modifier(object_address, constant):
+    """Pointer-integrity modifier: low 48 address bits over the constant.
+
+    Matches Listing 4 of the paper: ``mov w9, #const`` then
+    ``bfi x9, x0, #16, #48``.
+    """
+    return ((object_address & ((1 << 48) - 1)) << 16) | (constant & 0xFFFF)
+
+
+def sign_in_place(entry, section_base, mmu, pac_engine, keys, el=1):
+    """Sign one table entry's pointer slot in simulated memory.
+
+    Reads the raw pointer the build placed at the slot, computes its
+    PAC with the boot-time key and writes the signed value back.  This
+    is what early boot does for the kernel image and what the module
+    loader does per module (Section 4.6).
+    """
+    slot = (section_base + entry.offset) & _MASK64
+    raw = mmu.read_u64(slot, el)
+    object_address = (slot + entry.object_offset) & _MASK64
+    modifier = field_modifier(object_address, entry.constant)
+    signed = pac_engine.add_pac(raw, modifier, keys.get(entry.key))
+    mmu.write_u64(slot, signed, el)
+    return signed

@@ -1,0 +1,80 @@
+"""Exception hierarchy shared across the simulation stack.
+
+Faults raised while simulated code is executing derive from
+:class:`SimFault`; they model architectural exceptions (translation
+faults, permission faults, undefined instructions) and are either
+handled by the simulated kernel's exception vectors or terminate the
+simulation.  Errors raised by misuse of the Python API derive from
+:class:`ReproError` and are ordinary programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimFault",
+    "TranslationFault",
+    "PermissionFault",
+    "UndefinedInstructionFault",
+    "AlignmentFault",
+    "HypervisorTrap",
+    "KernelPanic",
+]
+
+
+class ReproError(Exception):
+    """Base class for host-level (non-architectural) errors."""
+
+
+class SimFault(Exception):
+    """Base class for simulated architectural exceptions.
+
+    Attributes
+    ----------
+    address:
+        Faulting virtual address, when applicable.
+    el:
+        Exception level the fault was taken from.
+    """
+
+    def __init__(self, message, address=None, el=None):
+        super().__init__(message)
+        self.address = address
+        self.el = el
+
+
+class TranslationFault(SimFault):
+    """Access to an unmapped or non-canonical virtual address.
+
+    This is the fault a dereference of a PAC-corrupted pointer raises:
+    failed authentication flips extension bits, making the address
+    non-canonical, so the subsequent load/store/branch faults here.
+    """
+
+
+class PermissionFault(SimFault):
+    """Access denied by stage-1 or stage-2 permissions (e.g. XOM reads)."""
+
+    def __init__(self, message, address=None, el=None, stage=1):
+        super().__init__(message, address=address, el=el)
+        self.stage = stage
+
+
+class UndefinedInstructionFault(SimFault):
+    """Executed an instruction the current core does not implement."""
+
+
+class AlignmentFault(SimFault):
+    """Misaligned load/store or stack-pointer use."""
+
+
+class HypervisorTrap(SimFault):
+    """An EL1 action trapped to the hypervisor (e.g. locked MMU register)."""
+
+
+class KernelPanic(ReproError):
+    """The simulated kernel halted (OOPS / PAuth failure threshold)."""
+
+    def __init__(self, message, reason=None):
+        super().__init__(message)
+        self.reason = reason

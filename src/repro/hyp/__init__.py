@@ -1,0 +1,9 @@
+"""Hypervisor (EL2): stage-2 XOM enforcement and MMU lockdown."""
+
+from repro.hyp.hypervisor import (
+    EL2_TRAP_ROUND_TRIP_CYCLES,
+    LOCKED_SYSREGS,
+    Hypervisor,
+)
+
+__all__ = ["Hypervisor", "LOCKED_SYSREGS", "EL2_TRAP_ROUND_TRIP_CYCLES"]

@@ -1,0 +1,119 @@
+"""The hypervisor: stage-2 permission enforcement and MMU lockdown.
+
+The paper's threat model (Section 3.1) assumes an adversary who can
+read and write kernel memory but cannot alter write-protected mappings,
+"realized by locking down MMU system control registers and tables via
+the hypervisor".  This module provides that substrate:
+
+* **XOM** — the key-setter page gets a stage-2 entry with no read and
+  no write permission but EL1 execute, the only way VMSAv8 can express
+  execute-only memory for the kernel (Appendix A.2);
+* **register lockdown** — EL1 writes to the MMU control registers
+  (TTBRs, TCR, and the PAuth enable bits of SCTLR) trap to EL2 and are
+  rejected;
+* **write protection** — .rodata/.text frames can be sealed so even a
+  kernel-mode arbitrary write cannot modify them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HypervisorTrap
+from repro.mem.pagetable import Stage2Table
+
+__all__ = ["Hypervisor", "LOCKED_SYSREGS", "EL2_TRAP_ROUND_TRIP_CYCLES"]
+
+#: Registers whose EL1 writes the hypervisor rejects after lockdown.
+LOCKED_SYSREGS = frozenset(
+    {"TTBR0_EL1", "TTBR1_EL1", "TCR_EL1", "SCTLR_EL1", "VBAR_EL1"}
+)
+
+
+#: Modelled cost of one EL1->EL2->EL1 trap round trip, in cycles.  The
+#: paper rejects trap-based key management because these transitions
+#: "are not intended and optimized for frequent occurrence"
+#: (Section 7); the ablation benchmark quantifies that argument.
+EL2_TRAP_ROUND_TRIP_CYCLES = 150
+
+
+class Hypervisor:
+    """EL2 agent owning the stage-2 translation table."""
+
+    def __init__(self, stage2=None):
+        self.stage2 = stage2 or Stage2Table(default_allow=True)
+        self._locked = False
+        self._allowed_writers = set()
+        self.trap_log = []
+        #: Kernel keys held at EL2 for the trap-based ablation.
+        self._key_service = None
+        self.hvc_count = 0
+
+    # -- attachment -------------------------------------------------------------
+
+    def attach(self, cpu):
+        """Wire this hypervisor into a CPU: share stage 2, hook MSRs."""
+        cpu.mmu.stage2 = self.stage2
+        cpu.sysreg_write_hook = self._on_sysreg_write
+        cpu.hvc_hook = self._on_hvc
+        return self
+
+    # -- EL2-trap key management (related-work ablation) ---------------------------
+
+    def install_key_service(self, keys, key_names):
+        """Hold the kernel keys at EL2; ``HVC #1`` installs them.
+
+        This is the Ferri-et-al. alternative (paper Section 7): keys
+        never exist in EL1-visible memory or code, at the cost of one
+        EL2 round trip per kernel entry.
+        """
+        self._key_service = (keys.copy(), tuple(key_names))
+
+    def _on_hvc(self, cpu, imm):
+        self.hvc_count += 1
+        cpu.cycles += EL2_TRAP_ROUND_TRIP_CYCLES
+        if imm == 1 and self._key_service is not None:
+            keys, key_names = self._key_service
+            for name in key_names:
+                source = keys.get(name)
+                live = cpu.regs.keys.get(name)
+                live.lo, live.hi = source.lo, source.hi
+            return
+        # Unknown hypercalls are ignored (EL2 denies the service).
+
+    # -- stage-2 policies ----------------------------------------------------------
+
+    def make_xom(self, frame):
+        """Make a physical frame execute-only for EL1.
+
+        No read (the immediates in the key setter cannot be extracted),
+        no write (the code cannot be patched), no EL0 execute (user
+        space cannot run the setter to load keys into registers).
+        """
+        self.stage2.set_frame(frame, r=False, w=False, x_el1=True, x_el0=False)
+
+    def write_protect(self, frame, executable_el1=False):
+        """Seal a frame read-only (rodata / text protection)."""
+        self.stage2.set_frame(
+            frame, r=True, w=False, x_el1=executable_el1, x_el0=False
+        )
+
+    def release(self, frame):
+        self.stage2.clear_frame(frame)
+
+    # -- register lockdown -----------------------------------------------------------
+
+    def lockdown(self):
+        """Freeze the MMU control registers (boot-time, after setup)."""
+        self._locked = True
+
+    @property
+    def locked(self):
+        return self._locked
+
+    def _on_sysreg_write(self, cpu, name, value):
+        if not self._locked:
+            return
+        if name in LOCKED_SYSREGS:
+            self.trap_log.append((name, value))
+            raise HypervisorTrap(
+                f"EL1 write to locked register {name}", el=cpu.regs.current_el
+            )

@@ -1,0 +1,37 @@
+"""The mini Linux-like kernel: tasks, syscalls, scheduler, VFS, modules."""
+
+from repro.kernel import layout
+from repro.kernel.fault import FaultManager, TaskKilled
+from repro.kernel.kobject import Field, KernelHeap, KObject, KStructType, TypeRegistry
+from repro.kernel.module import ModuleLoader, ModuleRejected
+from repro.kernel.sched import Scheduler, build_cpu_switch_to
+from repro.kernel.syscalls import SyscallSpec, default_syscalls
+from repro.kernel.system import BuildContext, System
+from repro.kernel.task import Task, TaskTable
+from repro.kernel.vfs import open_file
+from repro.kernel.workqueue import declare_work, init_work, run_work
+
+__all__ = [
+    "layout",
+    "System",
+    "BuildContext",
+    "SyscallSpec",
+    "default_syscalls",
+    "Task",
+    "TaskTable",
+    "FaultManager",
+    "TaskKilled",
+    "ModuleLoader",
+    "ModuleRejected",
+    "Scheduler",
+    "build_cpu_switch_to",
+    "TypeRegistry",
+    "KStructType",
+    "Field",
+    "KernelHeap",
+    "KObject",
+    "open_file",
+    "declare_work",
+    "init_work",
+    "run_work",
+]

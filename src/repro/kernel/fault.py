@@ -1,0 +1,135 @@
+"""Kernel fault handling and the brute-force mitigation (Section 5.4).
+
+A failed pointer authentication does not trap by itself: it poisons the
+pointer, and the subsequent dereference (or instruction fetch) raises a
+memory fault on a non-canonical address.  The stock kernel would SIGKILL
+the offending process and possibly OOPS; Camouflage additionally counts
+these failures and *halts the system* once a threshold is crossed,
+because with only 15 PAC bits (typical configuration, Appendix A) an
+attacker allowed unlimited guesses would brute-force a PAC in an
+expected 2^14 attempts.
+
+The manager also realises the verification-oracle defence of
+Section 6.2.3: every failure is logged with its context, so repeated
+probing of any kernel path is visible and bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.vmsa import AddressKind
+from repro.errors import KernelPanic, ReproError, SimFault, TranslationFault
+
+__all__ = ["TaskKilled", "FaultRecord", "FaultManager", "DEFAULT_PAUTH_FAULT_THRESHOLD"]
+
+#: Default number of tolerated PAuth-signature failures before panic.
+DEFAULT_PAUTH_FAULT_THRESHOLD = 8
+
+
+class TaskKilled(ReproError):
+    """The kernel terminated the current task (SIGKILL semantics)."""
+
+    def __init__(self, message, fault=None):
+        super().__init__(message)
+        self.fault = fault
+
+
+@dataclass
+class FaultRecord:
+    """One logged fault."""
+
+    kind: str
+    address: int
+    el: int
+    pauth_related: bool
+    task_id: int = None
+
+
+@dataclass
+class FaultManager:
+    """Counts faults, kills tasks, panics past the threshold.
+
+    Installed as the CPU's ``fault_hook``.  A fault whose address is
+    non-canonical while *inside* the valid pointer width is the
+    signature of a poisoned (failed-authentication) pointer; plain wild
+    accesses (unmapped but canonical) are ordinary bugs and do not count
+    toward the PAuth threshold.
+    """
+
+    config: object = None  # VMSAConfig, set by the system
+    threshold: int = DEFAULT_PAUTH_FAULT_THRESHOLD
+    panic_on_threshold: bool = True
+    records: list = field(default_factory=list)
+    pauth_failures: int = 0
+    current_task_id: int = None
+
+    def is_pauth_signature(self, fault):
+        """Heuristic the kernel applies: non-canonical faulting address."""
+        if not isinstance(fault, TranslationFault) or fault.address is None:
+            return False
+        if self.config is None:
+            return False
+        return self.config.classify(fault.address) == AddressKind.INVALID
+
+    def __call__(self, cpu, fault):
+        """CPU fault hook.  Never returns True: the faulting execution
+        is always torn down, either as a task kill or a panic."""
+        if not isinstance(fault, SimFault):
+            return False
+        pauth_related = self.is_pauth_signature(fault)
+        self.records.append(
+            FaultRecord(
+                kind=type(fault).__name__,
+                address=fault.address or 0,
+                el=cpu.regs.current_el,
+                pauth_related=pauth_related,
+                task_id=self.current_task_id,
+            )
+        )
+        if pauth_related:
+            self.pauth_failures += 1
+            if self.panic_on_threshold and self.pauth_failures >= self.threshold:
+                raise KernelPanic(
+                    f"PAuth failure threshold reached "
+                    f"({self.pauth_failures}/{self.threshold}): "
+                    f"likely kernel exploitation attempt",
+                    reason="pauth-threshold",
+                )
+        # Default kernel policy: unconditional SIGKILL of the process
+        # whose system call faulted.
+        raise TaskKilled(
+            f"{type(fault).__name__} at {fault.address and hex(fault.address)} "
+            f"(EL{cpu.regs.current_el}) — task killed",
+            fault=fault,
+        )
+
+    @property
+    def remaining_attempts(self):
+        """Guesses an attacker has left before the system halts."""
+        return max(0, self.threshold - self.pauth_failures)
+
+    def dmesg(self):
+        """Render the fault log the way an operator would read it.
+
+        Section 6.2.3: "Any failures are also logged, ensuring that
+        such vulnerable code paths can be fixed" — this is that log.
+        """
+        lines = []
+        for index, record in enumerate(self.records):
+            tag = "PAUTH" if record.pauth_related else "FAULT"
+            task = f" task={record.task_id}" if record.task_id else ""
+            lines.append(
+                f"[{index:04d}] {tag}: {record.kind} at "
+                f"{record.address:#x} (EL{record.el}){task}"
+            )
+        if self.pauth_failures:
+            lines.append(
+                f"[----] pauth failures: {self.pauth_failures}/"
+                f"{self.threshold} before panic"
+            )
+        return "\n".join(lines)
+
+    def reset(self):
+        self.records.clear()
+        self.pauth_failures = 0

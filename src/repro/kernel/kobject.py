@@ -1,0 +1,226 @@
+"""Kernel object model: compound types with protected pointer members.
+
+The paper protects *selected* pointers, marked in the source, rather
+than every pointer (Section 4.3).  This module models that machinery:
+
+* :class:`Field` / :class:`KStructType` describe a compound type and
+  which members are integrity-protected (function pointers for
+  forward-edge CFI, data pointers to operations tables for DFI);
+* :class:`TypeRegistry` assigns each (type, member) pair its unique
+  16-bit modifier constant — the discriminator that, combined with the
+  containing object's 48-bit address, forms the pointer-integrity
+  modifier;
+* :class:`KernelHeap` allocates objects in simulated kernel memory;
+* :class:`KObject` wraps one allocation with *host-side* accessors that
+  behave exactly like the generated getters/setters (sign on store,
+  authenticate on load) plus raw accessors that model an attacker's
+  arbitrary read/write primitive.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.elfimage.ptrtable import field_modifier
+from repro.errors import ReproError
+
+__all__ = ["Field", "KStructType", "TypeRegistry", "KernelHeap", "KObject"]
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Field:
+    """One member of a compound kernel type."""
+
+    name: str
+    offset: int
+    is_function_pointer: bool = False
+    protected: bool = False
+    constant: int = 0
+
+    def __post_init__(self):
+        if self.offset % 8:
+            raise ReproError(f"field {self.name!r} not 8-byte aligned")
+        if not 0 <= self.constant <= 0xFFFF:
+            raise ReproError(f"field {self.name!r} constant not 16-bit")
+
+
+class KStructType:
+    """A compound type with named, offset-assigned 8-byte members."""
+
+    def __init__(self, name, fields, size=None):
+        self.name = name
+        self._fields = {}
+        for f in fields:
+            if f.name in self._fields:
+                raise ReproError(f"{name}: duplicate field {f.name!r}")
+            self._fields[f.name] = f
+        max_end = max((f.offset + 8 for f in fields), default=8)
+        self.size = size if size is not None else max_end
+
+    def field(self, name):
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise ReproError(f"{self.name}: no field {name!r}") from None
+
+    def fields(self):
+        return sorted(self._fields.values(), key=lambda f: f.offset)
+
+    def protected_fields(self):
+        return [f for f in self.fields() if f.protected]
+
+    def __repr__(self):
+        return f"<KStructType {self.name} ({self.size} bytes)>"
+
+
+class TypeRegistry:
+    """Assigns unique 16-bit constants to (type, member) pairs.
+
+    The constant segregates pointers of the same address by type and
+    member (Section 4.3).  Assignment is deterministic (CRC16 of
+    ``type.member`` with linear probing on collision), mirroring how a
+    build system would generate stable ids.
+    """
+
+    def __init__(self):
+        self._constants = {}
+        self._used = set()
+        self._types = {}
+
+    def constant_for(self, type_name, member_name):
+        key = (type_name, member_name)
+        if key not in self._constants:
+            candidate = zlib.crc32(f"{type_name}.{member_name}".encode()) & 0xFFFF
+            while candidate in self._used:
+                candidate = (candidate + 1) & 0xFFFF
+            self._constants[key] = candidate
+            self._used.add(candidate)
+        return self._constants[key]
+
+    def define(self, name, members, size=None):
+        """Declare a type; members are (name, offset, kind, protected).
+
+        ``kind`` is ``"fn"`` for function pointers, ``"data"`` for data
+        pointers, anything else for scalar members.
+        """
+        fields = []
+        for member_name, offset, kind, protected in members:
+            constant = (
+                self.constant_for(name, member_name) if protected else 0
+            )
+            fields.append(
+                Field(
+                    name=member_name,
+                    offset=offset,
+                    is_function_pointer=kind == "fn",
+                    protected=protected,
+                    constant=constant,
+                )
+            )
+        ktype = KStructType(name, fields, size=size)
+        self._types[name] = ktype
+        return ktype
+
+    def type(self, name):
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ReproError(f"unknown type {name!r}") from None
+
+    def types(self):
+        return dict(self._types)
+
+
+class KernelHeap:
+    """Bump allocator over a mapped kernel-heap region."""
+
+    def __init__(self, mmu, base, size):
+        self.mmu = mmu
+        self.base = base
+        self.size = size
+        self._cursor = base
+
+    def allocate_raw(self, size, align=16):
+        self._cursor = (self._cursor + align - 1) & ~(align - 1)
+        if self._cursor + size > self.base + self.size:
+            raise ReproError("kernel heap exhausted")
+        address = self._cursor
+        self._cursor += size
+        return address
+
+    def allocate(self, ktype, align=16):
+        """Allocate a zeroed object of ``ktype``."""
+        address = self.allocate_raw(ktype.size, align)
+        self.mmu.write(address, b"\x00" * ktype.size, el=1)
+        return KObject(ktype, address, self.mmu)
+
+    def allocate_at_recycled(self, ktype, address):
+        """Re-create an object at a previously freed address.
+
+        Models the slab-reuse window the paper identifies as the
+        residual replay risk (Section 6.2.1): a new object of the same
+        type at the same address makes old signed pointers valid again.
+        """
+        self.mmu.write(address, b"\x00" * ktype.size, el=1)
+        return KObject(ktype, address, self.mmu)
+
+
+class KObject:
+    """One kernel object instance in simulated memory."""
+
+    def __init__(self, ktype, address, mmu):
+        self.type = ktype
+        self.address = address
+        self.mmu = mmu
+
+    def _slot(self, field_name):
+        field = self.type.field(field_name)
+        return field, (self.address + field.offset) & _MASK64
+
+    # -- raw access (attacker primitive / plain members) -------------------------
+
+    def raw_read(self, field_name, el=1):
+        _, slot = self._slot(field_name)
+        return self.mmu.read_u64(slot, el)
+
+    def raw_write(self, field_name, value, el=1):
+        """Unchecked store — the arbitrary-write primitive of §3.1."""
+        _, slot = self._slot(field_name)
+        self.mmu.write_u64(slot, value, el)
+
+    # -- protected access (what the generated accessors do) -----------------------
+
+    def modifier_for(self, field_name):
+        field = self.type.field(field_name)
+        return field_modifier(self.address, field.constant)
+
+    def set_protected(self, field_name, value, pac_engine, keys, key_name):
+        """Host-side setter: sign under the field modifier and store."""
+        field, slot = self._slot(field_name)
+        if not field.protected:
+            self.mmu.write_u64(slot, value, 1)
+            return value
+        signed = pac_engine.add_pac(
+            value, self.modifier_for(field_name), keys.get(key_name)
+        )
+        self.mmu.write_u64(slot, signed, 1)
+        return signed
+
+    def get_protected(self, field_name, pac_engine, keys, key_name):
+        """Host-side getter: load, authenticate, return PACResult-like.
+
+        Returns (pointer, ok): on failure the pointer is poisoned, just
+        as AUT* would leave it.
+        """
+        field, slot = self._slot(field_name)
+        raw = self.mmu.read_u64(slot, 1)
+        if not field.protected:
+            return raw, True
+        result = pac_engine.auth_pac(
+            raw, self.modifier_for(field_name), keys.get(key_name),
+            key_name=key_name,
+        )
+        return result.pointer, result.ok

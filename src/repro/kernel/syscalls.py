@@ -1,0 +1,129 @@
+"""System call registry and the default handlers.
+
+Handlers are assembled kernel functions named ``sys_<name>``; the
+dispatch table is a read-only page of their addresses, indexed by
+syscall number (the position in the spec list).  Handlers follow kernel
+calling convention: arguments in X0..X5, result in X0.
+
+The default set models the kernel patterns the paper's evaluation
+leans on:
+
+* ``getpid`` — a shallow call chain ending in a ``current`` lookup (the
+  lmbench "null call" shape);
+* ``read``/``write`` — fd lookup, then dispatch through the protected
+  ``f_ops`` pointer of the file object (Listing 4 in anger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import isa
+from repro.errors import ReproError
+from repro.kernel.task import TASK_TID_OFFSET
+
+__all__ = ["SyscallSpec", "default_syscalls", "write_syscall_table"]
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """One syscall: a name and a text builder.
+
+    ``build(asm, ctx)`` emits ``sys_<name>`` (and any helpers) into the
+    kernel text; ``ctx`` is the :class:`~repro.kernel.system.BuildContext`.
+    """
+
+    name: str
+    build: object
+
+    @property
+    def symbol(self):
+        return f"sys_{self.name}"
+
+
+def _build_getpid(asm, ctx):
+    compiler = ctx.compiler
+
+    def leaf_body(a):
+        a.mov_imm(9, ctx.current_ptr)
+        a.emit(isa.Ldr(9, 9, 0), isa.Ldr(0, 9, TASK_TID_OFFSET))
+
+    compiler.function(asm, "__task_pid", leaf_body, leaf=True)
+
+    def body(a):
+        a.emit(isa.Bl("__task_pid"))
+
+    compiler.function(asm, "sys_getpid", body)
+
+
+def _fd_lookup(asm, ctx):
+    """x0 = fd -> x0 = file object address (from the fd table page)."""
+    asm.mov_imm(9, ctx.fd_table)
+    asm.emit(
+        isa.LslImm(10, 0, 3),
+        isa.AddReg(9, 9, 10),
+        isa.Ldr(0, 9, 0),
+    )
+
+
+def _build_read(asm, ctx):
+    def body(a):
+        _fd_lookup(a, ctx)
+        a.emit(isa.Bl("vfs_read"))
+
+    ctx.compiler.function(asm, "sys_read", body)
+
+
+def _build_write(asm, ctx):
+    def body(a):
+        _fd_lookup(a, ctx)
+        a.emit(isa.Bl("vfs_write"))
+
+    ctx.compiler.function(asm, "sys_write", body)
+
+
+def make_prctl_rekey_spec(system_ref):
+    """``prctl(PR_PAC_RESET_KEYS)``-style per-thread key provisioning.
+
+    Section 2.2: "an architecture-specific prctl() call is available to
+    manually provision keys per thread".  The handler regenerates the
+    calling task's user keys through the kernel PRNG and updates the
+    thread area, so the *exit path restores the new keys* — every
+    previously signed user pointer dies instantly.
+
+    ``system_ref`` is a zero-argument callable returning the live
+    System (the spec is built before the System finishes booting).
+    """
+
+    def build(asm, ctx):
+        def rekey(cpu):
+            system = system_ref()
+            task = system.tasks.current
+            task.user_keys = system.bootloader.generate_user_keys()
+            task.write_user_keys(system.mmu)
+
+        def body(a):
+            a.emit(isa.Work(10))  # PRNG draw + bookkeeping stand-in
+            a.emit(isa.HostCall(rekey, "prctl-rekey"))
+            a.emit(isa.Movz(0, 0, 0))
+
+        ctx.compiler.function(asm, "sys_prctl_rekey", body)
+
+    return SyscallSpec("prctl_rekey", build)
+
+
+def default_syscalls():
+    """The core spec list (numbers are list positions)."""
+    return [
+        SyscallSpec("getpid", _build_getpid),
+        SyscallSpec("read", _build_read),
+        SyscallSpec("write", _build_write),
+    ]
+
+
+def write_syscall_table(mmu, table_va, specs, symbols):
+    """Fill the dispatch page with handler addresses (then seal it)."""
+    for number, spec in enumerate(specs):
+        if spec.symbol not in symbols:
+            raise ReproError(f"missing handler {spec.symbol!r}")
+        mmu.write_u64(table_va + 8 * number, symbols[spec.symbol], 1)

@@ -1,0 +1,164 @@
+"""A miniature VFS: ``struct file``, operations tables, dispatch.
+
+This reproduces the kernel coding pattern at the heart of the paper's
+forward-edge/DFI design (Sections 4.4, 4.5):
+
+* function pointers live in **const operations structures** placed in
+  ``.rodata`` (one per "filesystem"/"driver"), which the hypervisor
+  seals — they need no signing;
+* kernel objects (``struct file``) embed a *data* pointer ``f_ops`` to
+  their operations structure.  That pointer is writable and must be
+  PAuth-protected, or an attacker simply repoints it at a fake table;
+* the access pattern is always through generated accessors:
+  ``set_file_ops()`` on assignment, ``file_ops()->read(...)`` on use
+  (Listing 4);
+* ``f_cred`` demonstrates the same protection on a non-ops data pointer
+  (credentials — the classic privilege-escalation target).
+"""
+
+from __future__ import annotations
+
+from repro.arch import isa
+from repro.cfi.accessors import AccessorGenerator
+from repro.cfi.keys import KeyRole
+
+__all__ = [
+    "FILE_OPS_SLOTS",
+    "define_file_type",
+    "build_fops_table",
+    "VfsBuilder",
+    "open_file",
+]
+
+#: Slot order inside a ``file_operations`` table (byte offset = 8 * i).
+FILE_OPS_SLOTS = ("read", "write", "open", "release")
+
+#: ``struct file`` member offsets (subset of the real structure; f_ops
+#: at 40 matches the Listing 4 disassembly's ``ldr x8, [x0, #40]``).
+FILE_F_COUNT_OFFSET = 0
+FILE_PRIVATE_OFFSET = 8
+FILE_F_OPS_OFFSET = 40
+FILE_F_CRED_OFFSET = 48
+
+
+def define_file_type(registry):
+    """Register ``struct file`` with protected f_ops and f_cred."""
+    return registry.define(
+        "file",
+        [
+            ("f_count", FILE_F_COUNT_OFFSET, "scalar", False),
+            ("private_data", FILE_PRIVATE_OFFSET, "data", False),
+            ("f_ops", FILE_F_OPS_OFFSET, "data", True),
+            ("f_cred", FILE_F_CRED_OFFSET, "data", True),
+        ],
+        size=64,
+    )
+
+
+def build_fops_table(rodata, name, text_symbols, implementations):
+    """Place one const ``file_operations`` instance in .rodata.
+
+    ``implementations`` maps slot name -> text symbol of the handler;
+    missing slots become NULL.  Returns the offset within the section.
+    """
+    blob = bytearray()
+    for slot in FILE_OPS_SLOTS:
+        symbol = implementations.get(slot)
+        address = text_symbols[symbol] if symbol else 0
+        blob += address.to_bytes(8, "little")
+    return rodata.add_bytes(name, bytes(blob))
+
+
+class VfsBuilder:
+    """Emits the VFS text: driver read/write bodies and dispatchers.
+
+    The emitted functions:
+
+    * ``<driver>_read`` / ``<driver>_write`` — leaf bodies with a
+      configurable amount of work, standing in for real copy loops;
+    * ``set_file_ops`` / ``file_ops`` — the generated accessors for the
+      protected ``f_ops`` member;
+    * ``set_file_cred`` / ``file_cred`` — ditto for ``f_cred``;
+    * ``vfs_read`` / ``vfs_write`` — instrumented dispatchers that
+      authenticate ``f_ops`` and call through the table (Listing 4).
+    """
+
+    def __init__(self, compiler, registry):
+        self.compiler = compiler
+        self.registry = registry
+        self.file_type = registry.type("file")
+        self.accessors = AccessorGenerator(compiler.profile)
+
+    def emit_driver(self, asm, driver, read_work=6, write_work=8):
+        """One driver's leaf read/write implementations.
+
+        The bodies burn a configurable number of cycles (standing in
+        for the copy loop) and return a plausible byte count in X0.
+        """
+        self.compiler.function(
+            asm,
+            f"{driver}_read",
+            [isa.Work(read_work), isa.Movz(0, 4096, 0)],
+            leaf=True,
+        )
+        self.compiler.function(
+            asm,
+            f"{driver}_write",
+            [isa.Work(write_work), isa.Movz(0, 4096, 0)],
+            leaf=True,
+        )
+        return asm
+
+    def emit_accessors(self, asm):
+        field = self.file_type.field("f_ops")
+        self.accessors.emit_setter(asm, "set_file_ops", field)
+        self.accessors.emit_getter(asm, "file_ops", field)
+        cred = self.file_type.field("f_cred")
+        self.accessors.emit_setter(asm, "set_file_cred", cred)
+        self.accessors.emit_getter(asm, "file_cred", cred)
+        return asm
+
+    def emit_dispatchers(self, asm):
+        """``vfs_read``/``vfs_write``: authenticate f_ops, call through."""
+        field = self.file_type.field("f_ops")
+        for name, slot in (("vfs_read", "read"), ("vfs_write", "write")):
+            offset = 8 * FILE_OPS_SLOTS.index(slot)
+
+            def body(a, _offset=offset, _field=field):
+                self.accessors.emit_indirect_call_inline(a, _field, _offset)
+
+            self.compiler.function(asm, name, body)
+        return asm
+
+
+def open_file(system, fops_symbol, cred_address=0):
+    """Allocate a ``struct file`` bound to an operations table.
+
+    Uses the host-side protected setter — byte-for-byte what the
+    in-kernel ``set_file_ops`` stores (the test suite asserts this
+    equivalence).
+    """
+    ktype = system.registry.type("file")
+    fobj = system.heap.allocate(ktype)
+    ops_address = system.kernel_symbol(fops_symbol)
+    _store(system, fobj, "f_ops", ops_address)
+    if cred_address:
+        _store(system, fobj, "f_cred", cred_address)
+    fobj.raw_write("f_count", 1)
+    return fobj
+
+
+def _store(system, fobj, field_name, value):
+    """Store through the protection the active profile provides.
+
+    On a core without PAuth the (compat-built) in-kernel setter's HINT
+    instructions retire as NOPs, so the host-side equivalent stores the
+    raw value — the same graceful degradation Section 5.5 describes.
+    """
+    if system.profile.dfi and system.cpu.has_pauth:
+        dfi_key = system.profile.key_for(KeyRole.DFI)
+        fobj.set_protected(
+            field_name, value, system.cpu.pac, system.kernel_keys, dfi_key
+        )
+    else:
+        fobj.raw_write(field_name, value)

@@ -1,0 +1,125 @@
+"""Workqueues and the static-initializer path (paper Section 4.6).
+
+``struct work_struct`` carries a *lone, writable* function pointer —
+exactly the kind the paper says still needs forward-edge protection
+(it would not save memory to move a single pointer into an ops table).
+
+Two initialization paths exist, as in Linux:
+
+* ``INIT_WORK`` at run time — the generated setter signs the callback;
+* ``DECLARE_WORK`` statically — the image carries the raw callback
+  address plus a ``.pauth_ptrs`` row, and early boot (or module load)
+  signs the pointer in place, because the keys do not exist at build
+  time.
+
+``run_work`` is the consumer: it authenticates the callback and calls
+it with the work item as argument.
+"""
+
+from __future__ import annotations
+
+from repro.cfi.accessors import AccessorGenerator
+from repro.cfi.keys import KeyRole
+from repro.elfimage.ptrtable import SignedPointerEntry
+
+__all__ = [
+    "WORK_FUNC_OFFSET",
+    "WORK_DATA_OFFSET",
+    "define_work_type",
+    "WorkqueueBuilder",
+    "declare_work",
+    "init_work",
+    "run_work",
+]
+
+WORK_FUNC_OFFSET = 0
+WORK_DATA_OFFSET = 8
+_WORK_SIZE = 16
+
+
+def define_work_type(registry):
+    """Register ``work_struct`` (func protected for forward-edge CFI)."""
+    return registry.define(
+        "work_struct",
+        [
+            ("func", WORK_FUNC_OFFSET, "fn", True),
+            ("data", WORK_DATA_OFFSET, "scalar", False),
+        ],
+        size=_WORK_SIZE,
+    )
+
+
+class WorkqueueBuilder:
+    """Emits the workqueue kernel text: accessors and ``run_work``."""
+
+    def __init__(self, compiler, registry):
+        self.compiler = compiler
+        self.registry = registry
+        self.work_type = registry.type("work_struct")
+        self.accessors = AccessorGenerator(compiler.profile)
+
+    def emit(self, asm):
+        field = self.work_type.field("func")
+        self.accessors.emit_setter(asm, "set_work_func", field)
+        self.accessors.emit_getter(asm, "work_func", field)
+
+        def body(a):
+            # Authenticate the callback, then call it with x0 = work.
+            self.accessors.emit_call_pointer_inline(a, field)
+
+        self.compiler.function(asm, "run_work", body)
+
+        def combined_body(a):
+            # The Section 4.3 fusion: a single authenticated call
+            # (BLRAA/BLRAB) in place of the AUT* + BLR pair.
+            self.accessors.emit_call_pointer_inline(a, field, combined=True)
+
+        if self.compiler.profile.forward and not self.compiler.profile.compat:
+            self.compiler.function(asm, "run_work_blra", combined_body)
+        return asm
+
+
+def declare_work(data_builder, registry, symbol, callback_address, key="ia"):
+    """``DECLARE_WORK``: a statically initialized work item.
+
+    Adds the raw (unsigned) item to a ``.data`` section builder and
+    returns the :class:`SignedPointerEntry` the image must carry so the
+    boot/module loader can sign the callback in place.  ``key`` is the
+    profile's forward-edge key.
+    """
+    work_type = registry.type("work_struct")
+    offset = data_builder.add_bytes(
+        symbol,
+        callback_address.to_bytes(8, "little") + b"\x00" * 8,
+    )
+    return SignedPointerEntry(
+        section=".data",
+        offset=offset + WORK_FUNC_OFFSET,
+        key=key,
+        constant=work_type.field("func").constant,
+        object_offset=-WORK_FUNC_OFFSET,
+    )
+
+
+def init_work(system, work_obj, callback_address):
+    """``INIT_WORK``: run-time initialization through the setter.
+
+    Matches the in-kernel setter's behaviour on the running core: on a
+    non-PAuth CPU the compat HINT forms are NOPs, so the raw pointer is
+    stored.
+    """
+    if system.profile.forward and system.cpu.has_pauth:
+        key = system.profile.key_for(KeyRole.FORWARD)
+        work_obj.set_protected(
+            "func", callback_address, system.cpu.pac, system.kernel_keys, key
+        )
+    else:
+        work_obj.raw_write("func", callback_address)
+    work_obj.raw_write("data", 0)
+    return work_obj
+
+
+def run_work(system, work_address, max_steps=100_000):
+    """Invoke ``run_work`` in simulation for one work item."""
+    address = system.kernel_symbol("run_work")
+    return system.cpu.call(address, args=(work_address,), max_steps=max_steps)

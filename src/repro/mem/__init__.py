@@ -1,0 +1,15 @@
+"""Memory subsystem: physical memory, two-stage page tables, MMU."""
+
+from repro.mem.mmu import MMU, AddressSpace
+from repro.mem.pagetable import Mapping, Permissions, Stage1Table, Stage2Table
+from repro.mem.phys import PhysicalMemory
+
+__all__ = [
+    "MMU",
+    "AddressSpace",
+    "Permissions",
+    "Mapping",
+    "Stage1Table",
+    "Stage2Table",
+    "PhysicalMemory",
+]

@@ -1,0 +1,157 @@
+"""Two-stage MMU combining the kernel's stage 1 with the hypervisor's
+stage 2, plus canonical-address checking.
+
+Every access first validates the virtual address shape (Table 1): a
+non-canonical pointer — e.g. one poisoned by a failed AUT* — takes a
+:class:`~repro.errors.TranslationFault` before translation is even
+attempted.  Then the stage-1 tables (TTBR0 for user addresses, TTBR1 for
+kernel addresses) translate and check EL permissions, and finally the
+stage-2 table filters by physical frame.
+"""
+
+from __future__ import annotations
+
+from repro.arch.vmsa import AddressKind, VMSAConfig
+from repro.errors import PermissionFault, TranslationFault
+from repro.mem.pagetable import Stage1Table, Stage2Table
+from repro.mem.phys import PhysicalMemory
+
+__all__ = ["MMU", "AddressSpace"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class AddressSpace:
+    """A pair of stage-1 tables: user (TTBR0) and kernel (TTBR1).
+
+    All kernel tasks share the kernel table; each user process has its
+    own user table.
+    """
+
+    def __init__(self, page_shift=12):
+        self.user = Stage1Table(page_shift)
+        self.kernel = Stage1Table(page_shift)
+
+    def table_for(self, kind):
+        return self.kernel if kind == AddressKind.KERNEL else self.user
+
+
+class MMU:
+    """Translates and checks one core's memory accesses."""
+
+    def __init__(self, phys=None, config=None, stage2=None):
+        self.config = config or VMSAConfig()
+        self.phys = phys or PhysicalMemory(self.config.page_shift)
+        self.stage2 = stage2 or Stage2Table()
+        self.address_space = AddressSpace(self.config.page_shift)
+        self.page_shift = self.config.page_shift
+        self.page_size = 1 << self.page_shift
+
+    # -- translation ------------------------------------------------------------
+
+    def translate(self, va, access, el):
+        """Translate ``va`` for ``access`` ('r'/'w'/'x') at ``el``.
+
+        Returns the physical address, or raises a fault mirroring the
+        architectural behaviour.
+        """
+        va &= _MASK64
+        kind = self.config.classify(va)
+        if kind == AddressKind.INVALID:
+            raise TranslationFault(
+                f"non-canonical address {va:#x}", address=va, el=el
+            )
+        if kind == AddressKind.KERNEL and el == 0:
+            raise PermissionFault(
+                f"EL0 access to kernel address {va:#x}", address=va, el=el
+            )
+        low = va & ((1 << self.config.va_bits) - 1)
+        vpn = low >> self.page_shift
+        offset = low & (self.page_size - 1)
+        table = self.address_space.table_for(kind)
+        mapping = table.lookup(vpn)
+        if mapping is None:
+            raise TranslationFault(
+                f"unmapped address {va:#x}", address=va, el=el
+            )
+        if not mapping.permissions.allows(access, el):
+            raise PermissionFault(
+                f"stage-1 {access} permission denied at {va:#x} (EL{el})",
+                address=va,
+                el=el,
+                stage=1,
+            )
+        if not self.stage2.allows(mapping.frame, access, el):
+            raise PermissionFault(
+                f"stage-2 {access} permission denied at {va:#x} (EL{el})",
+                address=va,
+                el=el,
+                stage=2,
+            )
+        return (mapping.frame << self.page_shift) | offset
+
+    # -- data accessors -----------------------------------------------------------
+
+    def read(self, va, size, el):
+        """Read ``size`` bytes at ``va``, page by page."""
+        out = bytearray()
+        while size > 0:
+            pa = self.translate(va, "r", el)
+            chunk = min(size, self.page_size - (va & (self.page_size - 1)))
+            out += self.phys.read(pa, chunk)
+            va += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, va, data, el):
+        offset = 0
+        while offset < len(data):
+            pa = self.translate(va, "w", el)
+            chunk = min(
+                len(data) - offset,
+                self.page_size - (va & (self.page_size - 1)),
+            )
+            self.phys.write(pa, data[offset:offset + chunk])
+            va += chunk
+            offset += chunk
+
+    def read_u64(self, va, el):
+        return int.from_bytes(self.read(va, 8, el), "little")
+
+    def write_u64(self, va, value, el):
+        self.write(va, (value & _MASK64).to_bytes(8, "little"), el)
+
+    def fetch(self, va, el):
+        """Instruction fetch: execute-permission check, then decode."""
+        pa = self.translate(va, "x", el)
+        instruction = self.phys.fetch_instruction(pa)
+        if instruction is None:
+            raise TranslationFault(
+                f"no instruction at {va:#x}", address=va, el=el
+            )
+        return instruction
+
+    # -- mapping helpers ------------------------------------------------------------
+
+    def map_range(self, va, size, frame_base, permissions, kind=None):
+        """Map ``size`` bytes at ``va`` onto consecutive frames."""
+        va &= _MASK64
+        if kind is None:
+            kind = self.config.classify(va)
+        if kind == AddressKind.INVALID:
+            raise TranslationFault(f"cannot map invalid address {va:#x}")
+        table = self.address_space.table_for(kind)
+        low = va & ((1 << self.config.va_bits) - 1)
+        first_vpn = low >> self.page_shift
+        pages = (size + self.page_size - 1) >> self.page_shift
+        for index in range(pages):
+            table.map_page(first_vpn + index, frame_base + index, permissions)
+
+    def frame_of(self, va):
+        """Physical frame backing ``va`` (no permission check)."""
+        kind = self.config.classify(va)
+        low = va & ((1 << self.config.va_bits) - 1)
+        mapping = self.address_space.table_for(kind).lookup(
+            low >> self.page_shift
+        )
+        return None if mapping is None else mapping.frame

@@ -1,0 +1,98 @@
+"""Sparse physical memory backing the simulated machine.
+
+Frames are allocated lazily; code pages additionally carry decoded
+instruction objects beside their byte image, so that execution fetches
+instruction objects while data reads of the same locations return the
+byte encoding (needed, e.g., to demonstrate that the XOM key-setter
+cannot be disassembled by reading it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["PhysicalMemory"]
+
+
+class PhysicalMemory:
+    """Byte-addressable sparse physical memory.
+
+    Parameters
+    ----------
+    page_shift:
+        log2 of the frame size; must match the MMU granule.
+    """
+
+    def __init__(self, page_shift=12):
+        self.page_shift = page_shift
+        self.page_size = 1 << page_shift
+        self._frames = {}
+        #: Decoded instructions, keyed by physical address.
+        self._instructions = {}
+
+    def _frame(self, frame_number):
+        frame = self._frames.get(frame_number)
+        if frame is None:
+            frame = bytearray(self.page_size)
+            self._frames[frame_number] = frame
+        return frame
+
+    # -- data access ----------------------------------------------------------
+
+    def read(self, pa, size):
+        """Read ``size`` bytes starting at physical address ``pa``."""
+        out = bytearray()
+        while size > 0:
+            frame_number, offset = divmod(pa, self.page_size)
+            chunk = min(size, self.page_size - offset)
+            out += self._frame(frame_number)[offset:offset + chunk]
+            pa += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, pa, data):
+        """Write ``data`` starting at physical address ``pa``."""
+        offset_in_data = 0
+        size = len(data)
+        while offset_in_data < size:
+            frame_number, offset = divmod(pa, self.page_size)
+            chunk = min(size - offset_in_data, self.page_size - offset)
+            self._frame(frame_number)[offset:offset + chunk] = data[
+                offset_in_data:offset_in_data + chunk
+            ]
+            pa += chunk
+            offset_in_data += chunk
+
+    def read_u64(self, pa):
+        return int.from_bytes(self.read(pa, 8), "little")
+
+    def write_u64(self, pa, value):
+        self.write(pa, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    # -- instruction storage ----------------------------------------------------
+
+    def store_instruction(self, pa, instruction):
+        """Place a decoded instruction at ``pa`` (4-byte granularity).
+
+        The instruction's pseudo-encoding is also written as data so the
+        location reads back as bytes.
+        """
+        if pa % 4:
+            raise ReproError(f"instruction address {pa:#x} not 4-aligned")
+        self._instructions[pa] = instruction
+        self.write(pa, instruction.encoding())
+
+    def fetch_instruction(self, pa):
+        """Fetch the decoded instruction at ``pa`` (None if not code)."""
+        return self._instructions.get(pa)
+
+    def erase_instruction(self, pa):
+        self._instructions.pop(pa, None)
+
+    def instructions_in_range(self, pa, size):
+        """Decoded instructions within [pa, pa+size), address-ordered."""
+        return [
+            (address, self._instructions[address])
+            for address in sorted(self._instructions)
+            if pa <= address < pa + size
+        ]

@@ -1,0 +1,5 @@
+"""QARMA-64 tweakable block cipher — the reference PAC algorithm."""
+
+from repro.qarma.qarma64 import ALPHA, ROUND_CONSTANTS, SBOXES, Qarma64
+
+__all__ = ["Qarma64", "SBOXES", "ALPHA", "ROUND_CONSTANTS"]

@@ -1,0 +1,31 @@
+"""Evaluation workloads: call micro-bench, lmbench suite, user mixes."""
+
+from repro.workloads.callbench import CallCost, figure2_series, measure_call_cost
+from repro.workloads.lmbench import (
+    LMBENCH_BENCHMARKS,
+    LmbenchRow,
+    build_lmbench_system,
+    run_suite,
+)
+from repro.workloads.userspace import (
+    WORKLOADS,
+    UserspaceRow,
+    WorkloadSpec,
+    geometric_mean,
+    run_userspace,
+)
+
+__all__ = [
+    "CallCost",
+    "measure_call_cost",
+    "figure2_series",
+    "LMBENCH_BENCHMARKS",
+    "LmbenchRow",
+    "build_lmbench_system",
+    "run_suite",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "UserspaceRow",
+    "run_userspace",
+    "geometric_mean",
+]

@@ -1,0 +1,79 @@
+"""Tests for the static key-safety scan (repro.analysis.binscan)."""
+
+from repro.arch import isa
+from repro.analysis.binscan import scan_instructions
+
+
+def _at(*instructions):
+    return [(0x1000 + 4 * i, insn) for i, insn in enumerate(instructions)]
+
+
+class TestScan:
+    def test_clean_code(self):
+        report = scan_instructions(
+            _at(isa.Movz(0, 1, 0), isa.Ret(), isa.Mrs(0, "CONTEXTIDR_EL1"))
+        )
+        assert report.ok
+        assert report.scanned == 3
+        assert "clean" in report.summary()
+
+    def test_key_read_flagged(self):
+        report = scan_instructions(_at(isa.Mrs(3, "APDBKeyHi_EL1")))
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.mnemonic == "mrs"
+        assert violation.register == "APDBKeyHi_EL1"
+        assert "R2" in violation.reason
+
+    def test_every_key_register_read_flagged(self):
+        from repro.arch.registers import KEY_REGISTER_NAMES
+
+        for name in KEY_REGISTER_NAMES:
+            assert not scan_instructions(_at(isa.Mrs(0, name))).ok
+
+    def test_sctlr_write_flagged(self):
+        report = scan_instructions(_at(isa.Msr("SCTLR_EL1", 0)))
+        assert not report.ok
+        assert report.violations[0].register == "SCTLR_EL1"
+
+    def test_key_write_flagged_by_default(self):
+        report = scan_instructions(_at(isa.Msr("APIBKeyLo_EL1", 1)))
+        assert not report.ok
+
+    def test_key_write_allowed_when_sanctioned(self):
+        report = scan_instructions(
+            _at(isa.Msr("APIBKeyLo_EL1", 1)), allow_key_writes=True
+        )
+        assert report.ok
+
+    def test_whitelisted_range(self):
+        pairs = _at(isa.Msr("APIBKeyLo_EL1", 1), isa.Msr("APIBKeyHi_EL1", 2))
+        report = scan_instructions(
+            pairs, allowed_ranges=((0x1000, 0x1008),)
+        )
+        assert report.ok
+        outside = scan_instructions(
+            pairs, allowed_ranges=((0x1000, 0x1004),)
+        )
+        assert len(outside.violations) == 1
+
+    def test_sctlr_never_whitelisted(self):
+        report = scan_instructions(
+            _at(isa.Msr("SCTLR_EL1", 0)),
+            allow_key_writes=True,
+            allowed_ranges=((0, 1 << 64),),
+        )
+        assert not report.ok
+
+    def test_benign_msr_ok(self):
+        report = scan_instructions(_at(isa.Msr("CONTEXTIDR_EL1", 0)))
+        assert report.ok
+
+    def test_summary_lists_violations(self):
+        report = scan_instructions(
+            _at(isa.Mrs(0, "APIAKeyLo_EL1"), isa.Msr("SCTLR_EL1", 0))
+        )
+        text = report.summary()
+        assert "2 violation(s)" in text
+        assert "APIAKeyLo_EL1" in text
+        assert "SCTLR_EL1" in text

@@ -1,0 +1,183 @@
+"""Tests for the simulated compiler (repro.cfi.instrument)."""
+
+import pytest
+
+from repro.arch import isa
+from repro.arch.registers import PAuthKey
+from repro.cfi.instrument import Compiler, frame_pop, frame_push
+from repro.cfi.modifiers import CamouflageScheme, SPOnlyScheme
+from repro.cfi.policy import ProtectionProfile, profile_by_name
+from repro.errors import TranslationFault
+
+
+def _compiler(scheme=None, compat=False):
+    return Compiler(
+        ProtectionProfile(name="test", backward_scheme=scheme, compat=compat)
+    )
+
+
+def _run_function(machine, compiler, body=(), leaf=False, args=()):
+    machine.cpu.regs.keys.ib = PAuthKey(0x1111, 0x2222)
+    machine.cpu.regs.keys.ia = PAuthKey(0x3333, 0x4444)
+    asm = machine.assembler()
+    compiler.function(asm, "main", list(body), leaf=leaf)
+    return machine.run(asm.assemble(), args=args)
+
+
+class TestFunctionEmission:
+    def test_uninstrumented_function_shape(self, machine):
+        asm = machine.assembler()
+        _compiler(None).function(asm, "f", [isa.Nop()])
+        kinds = [type(i).__name__ for _, i in asm.assemble().instructions]
+        # Listing 1: stp / mov fp / body / ldp / ret
+        assert kinds == ["StpPre", "MovReg", "Nop", "LdpPost", "Ret"]
+
+    def test_camouflage_function_shape(self, machine):
+        asm = machine.assembler()
+        _compiler("camouflage").function(asm, "f", [isa.Nop()])
+        kinds = [type(i).__name__ for _, i in asm.assemble().instructions]
+        assert kinds == [
+            "Adr", "MovReg", "Bfi", "Pac",        # Listing 3 prologue
+            "StpPre", "MovReg",
+            "Nop",
+            "LdpPost",
+            "Adr", "MovReg", "Bfi", "Aut",        # epilogue
+            "Ret",
+        ]
+
+    def test_leaf_function_bare(self, machine):
+        asm = machine.assembler()
+        _compiler("camouflage").function(asm, "f", [isa.Nop()], leaf=True)
+        kinds = [type(i).__name__ for _, i in asm.assemble().instructions]
+        assert kinds == ["Nop", "Ret"]
+
+    @pytest.mark.parametrize("scheme", [None, "sp-only", "camouflage", "parts"])
+    def test_instrumented_function_executes(self, machine, scheme):
+        result, _ = _run_function(
+            machine, _compiler(scheme), [isa.Movz(0, 0x55, 0)]
+        )
+        assert result == 0x55
+
+    @pytest.mark.parametrize("scheme", ["sp-only", "camouflage", "parts"])
+    def test_corrupted_frame_detected(self, machine, scheme):
+        # Overwrite the saved (signed) LR while the frame is live.
+        def smash(cpu):
+            cpu.mmu.write_u64(cpu.regs.sp + 8, 0xFFFF_0000_0801_0000, 1)
+
+        with pytest.raises(TranslationFault):
+            _run_function(
+                machine, _compiler(scheme), [isa.HostCall(smash, "smash")]
+            )
+
+    def test_unprotected_corrupted_frame_hijacks(self, machine):
+        landed = []
+
+        def smash(cpu):
+            # Redirect the return into the landing pad directly: the
+            # uninstrumented epilogue will happily use it.
+            landed.append(True)
+            cpu.mmu.write_u64(
+                cpu.regs.sp + 8, cpu.regs.sysregs["sim:landing"], 1
+            )
+
+        machine.cpu._landing_pad()
+        result, _ = _run_function(
+            machine, _compiler(None),
+            [isa.HostCall(smash, "smash"), isa.Movz(0, 0x11, 0)],
+        )
+        assert landed  # the "attack" ran and the function still returned
+
+
+class TestCompatMode:
+    def test_compat_uses_hint_space_only(self, machine):
+        asm = machine.assembler()
+        _compiler("camouflage", compat=True).function(asm, "f", [])
+        for _, instruction in asm.assemble().instructions:
+            if isinstance(instruction, isa._PAuthInstruction):
+                assert instruction.hint_space
+
+    def test_compat_function_executes_with_pauth(self, machine):
+        result, _ = _run_function(
+            machine, _compiler("camouflage", compat=True),
+            [isa.Movz(0, 0x77, 0)],
+        )
+        assert result == 0x77
+
+    def test_compat_binary_runs_on_v80(self, v80_machine):
+        compiler = _compiler("camouflage", compat=True)
+        asm = v80_machine.assembler()
+        compiler.function(asm, "main", [isa.Movz(0, 0x88, 0)])
+        result, _ = v80_machine.run(asm.assemble())
+        assert result == 0x88
+
+    def test_compat_sp_only_uses_pacsp(self, machine):
+        asm = machine.assembler()
+        _compiler("sp-only", compat=True).function(asm, "f", [])
+        kinds = [type(i).__name__ for _, i in asm.assemble().instructions]
+        assert "PacSp" in kinds and "AutSp" in kinds
+
+
+class TestMacros:
+    def test_frame_push_pop_balance(self, machine):
+        machine.cpu.regs.keys.ib = PAuthKey(0xAA, 0xBB)
+        asm = machine.assembler()
+        asm.fn("main")
+        scheme = CamouflageScheme()
+        asm.emit(*frame_push(scheme, "ib", function_label="main"))
+        asm.emit(isa.Movz(0, 0x99, 0))
+        asm.emit(*frame_pop(scheme, "ib", function_label="main"))
+        asm.emit(isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == 0x99
+        assert machine.cpu.regs.sp == 0xFFFF_0000_0900_0000
+
+    def test_frame_push_without_scheme(self):
+        out = frame_push(None)
+        kinds = [type(i).__name__ for i in out]
+        assert kinds == ["StpPre", "MovReg"]
+
+    def test_sp_only_macro(self):
+        out = frame_push(SPOnlyScheme(), "ia", function_label=None)
+        assert type(out[0]).__name__ == "PacSp"
+
+
+class TestCallChain:
+    def test_chain_depth(self, machine):
+        compiler = _compiler("camouflage")
+        machine.cpu.regs.keys.ib = PAuthKey(0x1, 0x2)
+        asm = machine.assembler()
+        entry = compiler.call_chain(
+            asm, "chain", 4, leaf_body=[isa.Movz(0, 0x42, 0)]
+        )
+        asm2_program = asm.assemble()
+        machine.place(asm2_program)
+        result, _ = machine.cpu.call(
+            asm2_program.address_of(entry),
+            stack_top=0xFFFF_0000_0900_0000,
+        )
+        assert result == 0x42
+
+    def test_chain_rejects_zero_depth(self, machine):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            _compiler(None).call_chain(machine.assembler(), "x", 0)
+
+    def test_deeper_chain_costs_more(self, machine):
+        compiler = _compiler("camouflage")
+        machine.cpu.regs.keys.ib = PAuthKey(0x1, 0x2)
+
+        def run_chain(depth, name):
+            asm = machine.assembler()
+            entry = compiler.call_chain(asm, name, depth)
+            program = asm.assemble()
+            machine.place(program)
+            _, cycles = machine.cpu.call(
+                program.address_of(entry),
+                stack_top=0xFFFF_0000_0900_0000,
+            )
+            return cycles
+
+        shallow = run_chain(2, "a")
+        deep = run_chain(5, "b")
+        assert deep > shallow

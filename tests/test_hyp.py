@@ -1,0 +1,112 @@
+"""Tests for the hypervisor (repro.hyp)."""
+
+import pytest
+
+from repro.arch.cpu import CPU
+from repro.errors import HypervisorTrap, PermissionFault
+from repro.hyp.hypervisor import LOCKED_SYSREGS, Hypervisor
+from repro.mem.pagetable import Permissions
+
+KERNEL_VA = 0xFFFF_0000_0800_0000
+
+
+@pytest.fixture
+def system():
+    cpu = CPU()
+    hyp = Hypervisor().attach(cpu)
+    cpu.mmu.map_range(
+        KERNEL_VA, 0x1000, 0x100, Permissions(r_el1=True, x_el1=True)
+    )
+    return cpu, hyp
+
+
+class TestXOM:
+    def test_xom_blocks_reads(self, system):
+        cpu, hyp = system
+        hyp.make_xom(0x100)
+        with pytest.raises(PermissionFault) as info:
+            cpu.mmu.read(KERNEL_VA, 8, 1)
+        assert info.value.stage == 2
+
+    def test_xom_blocks_writes(self, system):
+        cpu, hyp = system
+        hyp.make_xom(0x100)
+        with pytest.raises(PermissionFault):
+            cpu.mmu.write(KERNEL_VA, b"\x00" * 4, 1)
+
+    def test_xom_allows_el1_execute(self, system):
+        from repro.arch import isa
+
+        cpu, hyp = system
+        pa = cpu.mmu.translate(KERNEL_VA, "x", 1)
+        cpu.mmu.phys.store_instruction(pa, isa.Nop())
+        hyp.make_xom(0x100)
+        assert cpu.mmu.fetch(KERNEL_VA, 1) is not None
+
+    def test_xom_blocks_el0_execute(self, system):
+        cpu, hyp = system
+        hyp.make_xom(0x100)
+        assert not hyp.stage2.allows(0x100, "x", 0)
+
+    def test_release(self, system):
+        cpu, hyp = system
+        hyp.make_xom(0x100)
+        hyp.release(0x100)
+        assert cpu.mmu.read(KERNEL_VA, 8, 1) == b"\x00" * 8
+
+
+class TestWriteProtect:
+    def test_rodata_sealing(self, system):
+        cpu, hyp = system
+        cpu.mmu.map_range(
+            KERNEL_VA + 0x1000, 0x1000, 0x101, Permissions.kernel_data()
+        )
+        hyp.write_protect(0x101)
+        assert cpu.mmu.read(KERNEL_VA + 0x1000, 8, 1) == b"\x00" * 8
+        with pytest.raises(PermissionFault) as info:
+            cpu.mmu.write_u64(KERNEL_VA + 0x1000, 1, 1)
+        assert info.value.stage == 2
+
+    def test_executable_seal(self, system):
+        _, hyp = system
+        hyp.write_protect(0x102, executable_el1=True)
+        assert hyp.stage2.allows(0x102, "x", 1)
+        assert not hyp.stage2.allows(0x102, "w", 1)
+
+
+class TestLockdown:
+    def test_unlocked_writes_allowed(self, system):
+        cpu, hyp = system
+        cpu.write_sysreg_checked("TTBR1_EL1", 0x42)
+        assert cpu.read_sysreg_checked("TTBR1_EL1") == 0x42
+
+    def test_locked_writes_trap(self, system):
+        cpu, hyp = system
+        hyp.lockdown()
+        for name in sorted(LOCKED_SYSREGS):
+            with pytest.raises(HypervisorTrap):
+                cpu.write_sysreg_checked(name, 0)
+
+    def test_trap_log(self, system):
+        cpu, hyp = system
+        hyp.lockdown()
+        with pytest.raises(HypervisorTrap):
+            cpu.write_sysreg_checked("SCTLR_EL1", 0)
+        assert hyp.trap_log == [("SCTLR_EL1", 0)]
+
+    def test_locked_registers_include_paper_set(self):
+        assert {"SCTLR_EL1", "TTBR0_EL1", "TTBR1_EL1"} <= LOCKED_SYSREGS
+
+    def test_unlocked_registers_still_writable_after_lockdown(self, system):
+        cpu, hyp = system
+        hyp.lockdown()
+        cpu.write_sysreg_checked("CONTEXTIDR_EL1", 7)
+        assert cpu.read_sysreg_checked("CONTEXTIDR_EL1") == 7
+
+    def test_key_registers_not_locked(self, system):
+        # Key registers must stay writable: the entry path sets them on
+        # every syscall.
+        cpu, hyp = system
+        hyp.lockdown()
+        cpu.write_sysreg_checked("APIBKeyLo_EL1", 0x1)
+        assert cpu.regs.keys.ib.lo == 0x1

@@ -1,0 +1,334 @@
+"""Tests for instruction semantics (repro.arch.isa)."""
+
+import pytest
+
+from conftest import DATA_BASE, STACK_TOP, TEXT_BASE
+
+from repro.arch import isa
+from repro.arch.isa import SP
+from repro.arch.registers import FP, LR, XZR
+from repro.errors import ReproError, UndefinedInstructionFault
+
+
+def run_body(machine, body, args=(), **kwargs):
+    """Assemble ``main:`` with the body followed by RET, run it."""
+    asm = machine.assembler()
+    asm.fn("main")
+    asm.emit(*body)
+    asm.emit(isa.Ret())
+    return machine.run(asm.assemble(), args=args, **kwargs)
+
+
+class TestMoves:
+    def test_movz(self, machine):
+        result, _ = run_body(machine, [isa.Movz(0, 0xBEEF, 16)])
+        assert result == 0xBEEF0000
+
+    def test_movz_clears_other_bits(self, machine):
+        result, _ = run_body(
+            machine,
+            [isa.Movz(0, 0xFFFF, 0), isa.Movz(0, 0x1, 48)],
+        )
+        assert result == 0x0001_0000_0000_0000
+
+    def test_movk_keeps_other_bits(self, machine):
+        result, _ = run_body(
+            machine,
+            [isa.Movz(0, 0xAAAA, 0), isa.Movk(0, 0xBBBB, 16)],
+        )
+        assert result == 0xBBBB_AAAA
+
+    def test_mov_reg(self, machine):
+        result, _ = run_body(
+            machine, [isa.Movz(1, 42, 0), isa.MovReg(0, 1)]
+        )
+        assert result == 42
+
+    def test_mov_from_sp(self, machine):
+        result, _ = run_body(machine, [isa.MovReg(0, SP)])
+        assert result == STACK_TOP
+
+    def test_movimm_expansion(self):
+        parts = isa.MovImm(3, 0x1122_3344_5566_7788).expand()
+        assert len(parts) == 4
+        assert isinstance(parts[0], isa.Movz)
+        assert all(isinstance(p, isa.Movk) for p in parts[1:])
+
+    def test_movimm_via_assembler(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.mov_imm(0, 0x1122_3344_5566_7788)
+        asm.emit(isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == 0x1122_3344_5566_7788
+
+
+class TestArithmetic:
+    def test_add_imm(self, machine):
+        result, _ = run_body(machine, [isa.AddImm(0, 0, 5)], args=(10,))
+        assert result == 15
+
+    def test_sub_imm(self, machine):
+        result, _ = run_body(machine, [isa.SubImm(0, 0, 4)], args=(10,))
+        assert result == 6
+
+    def test_add_reg(self, machine):
+        result, _ = run_body(machine, [isa.AddReg(0, 0, 1)], args=(3, 4))
+        assert result == 7
+
+    def test_sub_reg_wraps(self, machine):
+        result, _ = run_body(machine, [isa.SubReg(0, 0, 1)], args=(0, 1))
+        assert result == (1 << 64) - 1
+
+    def test_add_sp(self, machine):
+        result, _ = run_body(
+            machine,
+            [isa.SubImm(SP, SP, 32), isa.MovReg(0, SP), isa.AddImm(SP, SP, 32)],
+        )
+        assert result == STACK_TOP - 32
+
+    def test_logical_ops(self, machine):
+        result, _ = run_body(
+            machine, [isa.AndImm(0, 0, 0xF0), isa.OrrImm(0, 0, 0x1)],
+            args=(0xABCD,),
+        )
+        assert result == 0xC1
+
+    def test_eor(self, machine):
+        result, _ = run_body(machine, [isa.EorReg(0, 0, 1)], args=(0xFF, 0x0F))
+        assert result == 0xF0
+
+    def test_shifts(self, machine):
+        result, _ = run_body(
+            machine, [isa.LslImm(0, 0, 4), isa.LsrImm(0, 0, 8)], args=(0x123,)
+        )
+        assert result == 0x12
+
+
+class TestFlags:
+    def test_subs_sets_zero(self, machine):
+        _, _ = run_body(machine, [isa.SubsReg(XZR, 0, 1)], args=(5, 5))
+        assert machine.cpu.nzcv[1]  # Z
+
+    def test_subs_sets_negative(self, machine):
+        _, _ = run_body(machine, [isa.SubsImm(XZR, 0, 10)], args=(5,))
+        assert machine.cpu.nzcv[0]  # N
+
+    def test_subs_carry_unsigned_ge(self, machine):
+        _, _ = run_body(machine, [isa.SubsImm(XZR, 0, 3)], args=(5,))
+        assert machine.cpu.nzcv[2]  # C
+
+    def test_subs_overflow(self, machine):
+        # most-negative minus 1 overflows.
+        _, _ = run_body(
+            machine, [isa.SubsImm(XZR, 0, 1)], args=(1 << 63,)
+        )
+        assert machine.cpu.nzcv[3]  # V
+
+
+class TestBfi:
+    def test_bfi_inserts_field(self, machine):
+        result, _ = run_body(
+            machine,
+            [isa.Movz(0, 0xFFFF, 0), isa.Movz(1, 0xA, 0), isa.Bfi(0, 1, 4, 4)],
+        )
+        assert result == 0xFFAF
+
+    def test_bfi_listing3_shape(self, machine):
+        # bfi ip0, ip1, #32, #32: low 32 bits of SP over the low word.
+        result, _ = run_body(
+            machine,
+            [
+                isa.Movz(16, 0x1234, 0),
+                isa.MovReg(17, SP),
+                isa.Bfi(16, 17, 32, 32),
+                isa.MovReg(0, 16),
+            ],
+        )
+        assert result == ((STACK_TOP & 0xFFFFFFFF) << 32) | 0x1234
+
+    def test_bfi_rejects_sp_operand(self, machine):
+        # AArch64 forbids SP in BFI — the reason Listing 3 needs the
+        # extra mov.
+        with pytest.raises(UndefinedInstructionFault):
+            run_body(machine, [isa.Bfi(0, SP, 0, 8)])
+
+
+class TestLoadsStores:
+    def test_str_ldr(self, machine):
+        result, _ = run_body(
+            machine,
+            [isa.Str(0, 1, 8), isa.Ldr(0, 1, 8)],
+            args=(0xCAFED00D, DATA_BASE),
+        )
+        assert result == 0xCAFED00D
+
+    def test_pre_post_index(self, machine):
+        body = [
+            isa.MovReg(2, 1),
+            isa.StrPre(0, 2, 16),     # [base+16] = x0, base += 16
+            isa.LdrPost(3, 2, -16),   # x3 = [base], base -= 16
+            isa.SubReg(0, 2, 1),      # x0 = final base - original
+        ]
+        result, _ = run_body(machine, body, args=(7, DATA_BASE))
+        assert result == 0
+        assert machine.cpu.regs.read(3) == 7
+
+    def test_stp_ldp(self, machine):
+        body = [
+            isa.Stp(0, 1, 2, 0),
+            isa.Ldp(3, 4, 2, 0),
+            isa.AddReg(0, 3, 4),
+        ]
+        result, _ = run_body(machine, body, args=(11, 31, DATA_BASE))
+        assert result == 42
+
+    def test_frame_record_push_pop(self, machine):
+        body = [
+            isa.Movz(29, 0x1111, 0),
+            isa.StpPre(FP, LR, SP, -16),
+            isa.Movz(29, 0x2222, 0),
+            isa.LdpPost(FP, LR, SP, 16),
+            isa.MovReg(0, FP),
+        ]
+        result, _ = run_body(machine, body)
+        assert result == 0x1111
+        assert machine.cpu.regs.sp == STACK_TOP
+
+    def test_load_cost(self):
+        assert isa.Ldr(0, 1).cycles == 2
+        assert isa.Stp(0, 1, 2).cycles == 2
+
+
+class TestBranches:
+    def test_b_and_labels(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.Movz(0, 1, 0), isa.B("skip"), isa.Movz(0, 2, 0))
+        asm.label("skip")
+        asm.emit(isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == 1
+
+    def test_bl_sets_lr(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(
+            isa.MovReg(19, LR),   # BL clobbers LR: callers must save it
+            isa.Bl("leaf"),
+            isa.MovReg(LR, 19),
+            isa.Ret(),
+        )
+        asm.fn("leaf")
+        asm.emit(isa.MovReg(0, LR), isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == TEXT_BASE + 8  # return address after the BL
+
+    def test_blr_br(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.Adr(1, "target"), isa.Br(1))
+        asm.fn("dead")
+        asm.emit(isa.Movz(0, 0xBAD, 0), isa.Ret())
+        asm.fn("target")
+        asm.emit(isa.Movz(0, 0x600D, 0), isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == 0x600D
+
+    def test_cbz_cbnz(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.Cbz(0, "zero"), isa.Movz(0, 1, 0), isa.Ret())
+        asm.label("zero")
+        asm.emit(isa.Movz(0, 2, 0), isa.Ret())
+        result, _ = machine.run(asm.assemble(), args=(0,))
+        assert result == 2
+        result, _ = machine.run(asm.assemble(), args=(7,))
+        assert result == 1
+
+    @pytest.mark.parametrize(
+        "condition,a,b,taken",
+        [
+            ("eq", 5, 5, True), ("eq", 5, 6, False),
+            ("ne", 5, 6, True), ("ne", 5, 5, False),
+            ("lt", 3, 5, True), ("lt", 5, 3, False),
+            ("ge", 5, 5, True), ("ge", 3, 5, False),
+            ("gt", 6, 5, True), ("gt", 5, 5, False),
+            ("le", 5, 5, True), ("le", 6, 5, False),
+            ("cs", 5, 3, True), ("cc", 3, 5, True),
+        ],
+    )
+    def test_conditions(self, machine, condition, a, b, taken):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.SubsReg(XZR, 0, 1), isa.BCond(condition, "yes"))
+        asm.emit(isa.Movz(0, 0, 0), isa.Ret())
+        asm.label("yes")
+        asm.emit(isa.Movz(0, 1, 0), isa.Ret())
+        result, _ = machine.run(asm.assemble(), args=(a, b))
+        assert bool(result) == taken
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(ReproError):
+            isa.BCond("xx", "label")
+
+    def test_loop(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.Movz(0, 0, 0))
+        asm.mov_imm(1, 10)
+        asm.label("loop")
+        asm.emit(
+            isa.AddImm(0, 0, 3),
+            isa.SubsImm(1, 1, 1),
+            isa.BCond("ne", "loop"),
+            isa.Ret(),
+        )
+        result, _ = machine.run(asm.assemble())
+        assert result == 30
+
+
+class TestMisc:
+    def test_work_cycles(self, machine):
+        _, cycles_small = run_body(machine, [isa.Work(5)])
+        _, cycles_big = run_body(machine, [isa.Work(105)])
+        assert cycles_big - cycles_small == 100
+
+    def test_nop(self, machine):
+        result, _ = run_body(machine, [isa.Nop()], args=(9,))
+        assert result == 9
+
+    def test_hostcall(self, machine):
+        seen = []
+        result, _ = run_body(
+            machine,
+            [isa.HostCall(lambda cpu: seen.append(cpu.regs.read(0)), "probe")],
+            args=(123,),
+        )
+        assert seen == [123]
+
+    def test_adr(self, machine):
+        asm = machine.assembler()
+        asm.fn("main")
+        asm.emit(isa.Adr(0, "main"), isa.Ret())
+        result, _ = machine.run(asm.assemble())
+        assert result == TEXT_BASE
+
+    def test_encoding_is_four_bytes(self):
+        for instruction in (
+            isa.Movz(0, 1, 0), isa.Ret(), isa.Nop(), isa.Work(7),
+            isa.Pac("ib", 30, 16), isa.Msr("SCTLR_EL1", 0),
+        ):
+            assert len(instruction.encoding()) == 4
+
+    def test_encoding_distinguishes_operands(self):
+        assert isa.Movz(0, 1, 0).encoding() != isa.Movz(0, 2, 0).encoding()
+        assert isa.Movz(0, 1, 0).encoding() != isa.Movk(0, 1, 0).encoding()
+
+    def test_text_smoke(self):
+        for instruction in (
+            isa.Movz(1, 2, 16), isa.Ldr(0, SP, 8), isa.StpPre(29, 30, SP, -16),
+            isa.Pac("ia", 30, 16), isa.RetA("ib"), isa.BlrA("ib", 8, 9),
+            isa.Mrs(0, "SCTLR_EL1"), isa.Work(3), isa.Bfi(0, 1, 4, 4),
+        ):
+            assert instruction.text()

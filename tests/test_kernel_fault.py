@@ -1,0 +1,131 @@
+"""Tests for fault handling and the brute-force threshold."""
+
+import pytest
+
+from repro.arch.cpu import CPU
+from repro.arch.vmsa import VMSAConfig
+from repro.errors import KernelPanic, TranslationFault
+from repro.kernel.fault import (
+    DEFAULT_PAUTH_FAULT_THRESHOLD,
+    FaultManager,
+    TaskKilled,
+)
+
+
+@pytest.fixture
+def manager():
+    return FaultManager(config=VMSAConfig(), threshold=3)
+
+
+def _poisoned_fault():
+    # Non-canonical address: the PAuth-failure signature.
+    return TranslationFault("bad", address=0x7FFF_0000_0800_0000, el=1)
+
+
+def _wild_fault():
+    # Canonical but unmapped: an ordinary kernel bug.
+    return TranslationFault("wild", address=0xFFFF_0000_DEAD_0000, el=1)
+
+
+class TestClassification:
+    def test_poisoned_address_is_pauth_signature(self, manager):
+        assert manager.is_pauth_signature(_poisoned_fault())
+
+    def test_canonical_address_is_not(self, manager):
+        assert not manager.is_pauth_signature(_wild_fault())
+
+    def test_non_translation_fault_is_not(self, manager):
+        from repro.errors import PermissionFault
+
+        fault = PermissionFault("denied", address=0x1000, el=1)
+        assert not manager.is_pauth_signature(fault)
+
+
+class TestHandling:
+    def test_task_killed_on_fault(self, manager):
+        cpu = CPU()
+        with pytest.raises(TaskKilled):
+            manager(cpu, _poisoned_fault())
+        assert manager.pauth_failures == 1
+
+    def test_wild_fault_kills_without_counting(self, manager):
+        cpu = CPU()
+        with pytest.raises(TaskKilled):
+            manager(cpu, _wild_fault())
+        assert manager.pauth_failures == 0
+
+    def test_panic_at_threshold(self, manager):
+        cpu = CPU()
+        for _ in range(2):
+            with pytest.raises(TaskKilled):
+                manager(cpu, _poisoned_fault())
+        with pytest.raises(KernelPanic) as info:
+            manager(cpu, _poisoned_fault())
+        assert info.value.reason == "pauth-threshold"
+
+    def test_panic_disabled(self, manager):
+        manager.panic_on_threshold = False
+        cpu = CPU()
+        for _ in range(10):
+            with pytest.raises(TaskKilled):
+                manager(cpu, _poisoned_fault())
+        assert manager.pauth_failures == 10
+
+    def test_records_kept(self, manager):
+        cpu = CPU()
+        manager.current_task_id = 42
+        with pytest.raises(TaskKilled):
+            manager(cpu, _poisoned_fault())
+        record = manager.records[0]
+        assert record.pauth_related
+        assert record.task_id == 42
+        assert record.kind == "TranslationFault"
+
+    def test_remaining_attempts(self, manager):
+        cpu = CPU()
+        assert manager.remaining_attempts == 3
+        with pytest.raises(TaskKilled):
+            manager(cpu, _poisoned_fault())
+        assert manager.remaining_attempts == 2
+
+    def test_reset(self, manager):
+        cpu = CPU()
+        with pytest.raises(TaskKilled):
+            manager(cpu, _poisoned_fault())
+        manager.reset()
+        assert manager.pauth_failures == 0
+        assert manager.records == []
+
+    def test_non_simfault_not_handled(self, manager):
+        assert manager(CPU(), ValueError("x")) is False
+
+    def test_default_threshold(self):
+        assert FaultManager().threshold == DEFAULT_PAUTH_FAULT_THRESHOLD
+
+
+class TestDmesg:
+    def test_empty_log(self, manager):
+        assert manager.dmesg() == ""
+
+    def test_pauth_failures_tagged(self, manager):
+        cpu = CPU()
+        manager.current_task_id = 7
+        with pytest.raises(TaskKilled):
+            manager(cpu, _poisoned_fault())
+        with pytest.raises(TaskKilled):
+            manager(cpu, _wild_fault())
+        log = manager.dmesg()
+        assert "PAUTH: TranslationFault" in log
+        assert "FAULT: TranslationFault" in log
+        assert "task=7" in log
+        assert "pauth failures: 1/3" in log
+
+    def test_oracle_probing_is_visible(self):
+        # Section 6.2.3: every probe is logged, so a vulnerable path
+        # being used as an oracle is visible to the operator.
+        manager = FaultManager(config=VMSAConfig(), threshold=10)
+        cpu = CPU()
+        for _ in range(4):
+            with pytest.raises(TaskKilled):
+                manager(cpu, _poisoned_fault())
+        assert manager.dmesg().count("PAUTH") == 4

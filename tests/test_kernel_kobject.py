@@ -1,0 +1,191 @@
+"""Tests for kernel object machinery (repro.kernel.kobject)."""
+
+import pytest
+
+from repro.arch.pac import PACEngine
+from repro.arch.registers import KeyBank, PAuthKey
+from repro.elfimage.loader import ImageLoader
+from repro.errors import ReproError
+from repro.kernel.kobject import Field, KernelHeap, KStructType, TypeRegistry
+from repro.mem.mmu import MMU
+
+HEAP_BASE = 0xFFFF_0000_8000_0000
+
+
+@pytest.fixture
+def heap():
+    mmu = MMU()
+    ImageLoader(mmu).map_heap(HEAP_BASE, 0x10000)
+    return KernelHeap(mmu, HEAP_BASE, 0x10000)
+
+
+@pytest.fixture
+def registry():
+    return TypeRegistry()
+
+
+def _file_type(registry):
+    return registry.define(
+        "file",
+        [
+            ("f_count", 0, "scalar", False),
+            ("f_ops", 40, "data", True),
+        ],
+        size=64,
+    )
+
+
+class TestTypeRegistry:
+    def test_constants_unique(self, registry):
+        constants = {
+            registry.constant_for("file", "f_ops"),
+            registry.constant_for("file", "f_cred"),
+            registry.constant_for("sock", "f_ops"),
+        }
+        assert len(constants) == 3
+
+    def test_constants_stable(self, registry):
+        first = registry.constant_for("file", "f_ops")
+        assert registry.constant_for("file", "f_ops") == first
+
+    def test_constants_deterministic_across_registries(self):
+        a = TypeRegistry().constant_for("file", "f_ops")
+        b = TypeRegistry().constant_for("file", "f_ops")
+        assert a == b
+
+    def test_constants_are_16_bit(self, registry):
+        for index in range(200):
+            constant = registry.constant_for("t", f"m{index}")
+            assert 0 <= constant <= 0xFFFF
+
+    def test_define_and_lookup(self, registry):
+        ktype = _file_type(registry)
+        assert registry.type("file") is ktype
+        assert ktype.field("f_ops").protected
+        assert not ktype.field("f_count").protected
+
+    def test_unknown_type(self, registry):
+        with pytest.raises(ReproError):
+            registry.type("ghost")
+
+
+class TestKStructType:
+    def test_field_metadata(self, registry):
+        ktype = _file_type(registry)
+        field = ktype.field("f_ops")
+        assert field.offset == 40
+        assert not field.is_function_pointer
+        assert field.constant != 0
+
+    def test_size_inference(self):
+        ktype = KStructType("t", [Field("a", 0), Field("b", 24)])
+        assert ktype.size == 32
+
+    def test_protected_fields(self, registry):
+        ktype = _file_type(registry)
+        assert [f.name for f in ktype.protected_fields()] == ["f_ops"]
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ReproError):
+            KStructType("t", [Field("a", 0), Field("a", 8)])
+
+    def test_misaligned_field_rejected(self):
+        with pytest.raises(ReproError):
+            Field("a", 4)
+
+    def test_unknown_field(self, registry):
+        with pytest.raises(ReproError):
+            _file_type(registry).field("nope")
+
+
+class TestKernelHeap:
+    def test_allocations_disjoint_and_aligned(self, heap, registry):
+        ktype = _file_type(registry)
+        a = heap.allocate(ktype)
+        b = heap.allocate(ktype)
+        assert a.address % 16 == 0
+        assert b.address >= a.address + ktype.size
+
+    def test_allocation_zeroed(self, heap, registry):
+        obj = heap.allocate(_file_type(registry))
+        assert obj.raw_read("f_ops") == 0
+
+    def test_exhaustion(self, heap):
+        with pytest.raises(ReproError):
+            heap.allocate_raw(0x20000)
+
+    def test_recycled_allocation_at_same_address(self, heap, registry):
+        ktype = _file_type(registry)
+        first = heap.allocate(ktype)
+        recycled = heap.allocate_at_recycled(ktype, first.address)
+        assert recycled.address == first.address
+        assert recycled.raw_read("f_ops") == 0
+
+
+class TestKObject:
+    @pytest.fixture
+    def env(self, heap, registry):
+        keys = KeyBank()
+        keys.db = PAuthKey(0xD00D, 0xF00F)
+        engine = PACEngine()
+        obj = heap.allocate(_file_type(registry))
+        return obj, engine, keys
+
+    def test_raw_roundtrip(self, env):
+        obj, _, _ = env
+        obj.raw_write("f_count", 3)
+        assert obj.raw_read("f_count") == 3
+
+    def test_protected_roundtrip(self, env):
+        obj, engine, keys = env
+        target = 0xFFFF_0000_0801_2000
+        stored = obj.set_protected("f_ops", target, engine, keys, "db")
+        assert stored != target
+        pointer, ok = obj.get_protected("f_ops", engine, keys, "db")
+        assert ok and pointer == target
+
+    def test_unprotected_field_passthrough(self, env):
+        obj, engine, keys = env
+        obj.set_protected("f_count", 5, engine, keys, "db")
+        assert obj.raw_read("f_count") == 5
+        value, ok = obj.get_protected("f_count", engine, keys, "db")
+        assert ok and value == 5
+
+    def test_attacker_overwrite_fails_auth(self, env):
+        obj, engine, keys = env
+        obj.set_protected("f_ops", 0xFFFF_0000_0801_2000, engine, keys, "db")
+        obj.raw_write("f_ops", 0xFFFF_0000_0801_3000)  # raw injection
+        pointer, ok = obj.get_protected("f_ops", engine, keys, "db")
+        assert not ok
+
+    def test_modifier_binds_object_address(self, env, heap, registry):
+        obj, engine, keys = env
+        other = heap.allocate(registry.type("file"))
+        signed = obj.set_protected(
+            "f_ops", 0xFFFF_0000_0801_2000, engine, keys, "db"
+        )
+        # Move the signed value to another object of the same type:
+        # the modifier differs (object address), so auth fails.
+        other.raw_write("f_ops", signed)
+        _, ok = other.get_protected("f_ops", engine, keys, "db")
+        assert not ok
+
+    def test_slab_reuse_residual_window(self, env, heap, registry):
+        # The paper's admitted residual (Section 6.2.1): a recycled
+        # allocation of the same type at the same address re-validates
+        # old signed pointers.
+        obj, engine, keys = env
+        signed = obj.set_protected(
+            "f_ops", 0xFFFF_0000_0801_2000, engine, keys, "db"
+        )
+        recycled = heap.allocate_at_recycled(registry.type("file"), obj.address)
+        recycled.raw_write("f_ops", signed)
+        pointer, ok = recycled.get_protected("f_ops", engine, keys, "db")
+        assert ok and pointer == 0xFFFF_0000_0801_2000
+
+    def test_modifier_for_matches_listing4(self, env):
+        obj, _, _ = env
+        constant = obj.type.field("f_ops").constant
+        modifier = obj.modifier_for("f_ops")
+        assert modifier & 0xFFFF == constant
+        assert modifier >> 16 == obj.address & ((1 << 48) - 1)

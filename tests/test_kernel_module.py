@@ -1,0 +1,148 @@
+"""Tests for the LKM loader: verification, sealing, pointer fixup."""
+
+import pytest
+
+from repro.arch import isa
+from repro.arch.assembler import Assembler
+from repro.cfi.instrument import Compiler
+from repro.cfi.keys import KeyRole
+from repro.elfimage.image import DataSectionBuilder, ImageBuilder
+from repro.errors import PermissionFault, ReproError
+from repro.kernel import System
+from repro.kernel.module import ModuleRejected
+from repro.kernel.workqueue import declare_work
+
+MODULE_BASE = 0xFFFF_0000_0C00_0000
+
+
+def _benign_module(system, name="testmod", base=MODULE_BASE):
+    compiler = Compiler(system.profile)
+    asm = Assembler(base)
+    compiler.function(
+        asm, f"{name}_handler", [isa.Movz(0, 0x99, 0)], leaf=True
+    )
+    text = asm.assemble()
+    builder = ImageBuilder(name, base)
+    builder.add_text(".text", text)
+    data = DataSectionBuilder(".data")
+    entry = declare_work(
+        data, system.registry, f"{name}_work",
+        text.symbols[f"{name}_handler"],
+        key=system.profile.key_for(KeyRole.FORWARD),
+    )
+    builder.add_data(".data", data, writable=True)
+    builder.add_signed_pointer(entry)
+    rodata = DataSectionBuilder(".rodata")
+    rodata.add_u64(f"{name}_magic", 0x4D4F44)
+    builder.add_data(".rodata", rodata, writable=False)
+    return builder.build()
+
+
+def _evil_module(instructions, name="evil", base=MODULE_BASE):
+    asm = Assembler(base)
+    asm.fn(f"{name}_init")
+    asm.emit(*instructions)
+    asm.emit(isa.Ret())
+    builder = ImageBuilder(name, base)
+    builder.add_text(".text", asm.assemble())
+    return builder.build()
+
+
+class TestLoading:
+    def test_benign_module_loads(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        assert module.name == "testmod"
+        assert module.symbol("testmod_handler")
+
+    def test_module_code_runs(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        result, _ = system.kernel_call(module.symbol("testmod_handler"))
+        assert result == 0x99
+
+    def test_static_work_signed_at_load(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        assert len(module.signed_pointers) == 1
+        entry, signed = module.signed_pointers[0]
+        stored = system.mmu.read_u64(module.symbol("testmod_work"), 1)
+        assert stored == signed
+        # The stored pointer authenticates under the field modifier.
+        from repro.elfimage.ptrtable import field_modifier
+
+        modifier = field_modifier(module.symbol("testmod_work"), entry.constant)
+        result = system.cpu.pac.auth_pac(
+            stored, modifier, system.kernel_keys.get(entry.key)
+        )
+        assert result.ok
+
+    def test_static_work_runs_through_run_work(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        result, _ = system.kernel_call(
+            "run_work", args=(module.symbol("testmod_work"),)
+        )
+        assert result == 0x99
+
+    def test_module_rodata_sealed(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        with pytest.raises(PermissionFault):
+            system.mmu.write_u64(module.symbol("testmod_magic"), 0, 1)
+
+    def test_module_text_sealed(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        with pytest.raises(PermissionFault):
+            system.mmu.write_u64(module.symbol("testmod_handler"), 0, 1)
+
+    def test_module_data_stays_writable(self):
+        system = System(profile="full")
+        module = system.modules.load(_benign_module(system))
+        system.mmu.write_u64(module.symbol("testmod_work") + 8, 5, 1)
+
+    def test_duplicate_module_rejected(self):
+        system = System(profile="full")
+        system.modules.load(_benign_module(system))
+        with pytest.raises(ReproError):
+            system.modules.load(
+                _benign_module(system, base=MODULE_BASE + 0x100000)
+            )
+
+
+class TestStaticVerification:
+    def test_mrs_key_read_rejected(self):
+        system = System(profile="full")
+        module = _evil_module([isa.Mrs(0, "APIAKeyHi_EL1")])
+        with pytest.raises(ModuleRejected) as info:
+            system.modules.load(module)
+        assert info.value.report.violations[0].register == "APIAKeyHi_EL1"
+
+    def test_sctlr_write_rejected(self):
+        system = System(profile="full")
+        module = _evil_module([isa.Msr("SCTLR_EL1", 0)])
+        with pytest.raises(ModuleRejected):
+            system.modules.load(module)
+
+    def test_key_write_rejected(self):
+        system = System(profile="full")
+        module = _evil_module([isa.Msr("APIBKeyLo_EL1", 0)])
+        with pytest.raises(ModuleRejected):
+            system.modules.load(module)
+
+    def test_rejected_module_not_mapped(self):
+        from repro.errors import TranslationFault
+
+        system = System(profile="full")
+        module = _evil_module([isa.Mrs(0, "APIAKeyHi_EL1")])
+        with pytest.raises(ModuleRejected):
+            system.modules.load(module)
+        with pytest.raises(TranslationFault):
+            system.mmu.read_u64(MODULE_BASE, 1)
+
+    def test_benign_mrs_allowed(self):
+        system = System(profile="full")
+        module = _evil_module([isa.Mrs(0, "CONTEXTIDR_EL1")], name="ok")
+        loaded = system.modules.load(module)
+        assert loaded.name == "ok"

@@ -1,0 +1,162 @@
+"""Tests for the VFS and workqueue substrates."""
+
+import pytest
+
+from repro.cfi.keys import KeyRole
+from repro.kernel import System, init_work, open_file, run_work
+from repro.kernel.fault import TaskKilled
+from repro.kernel.vfs import FILE_F_OPS_OFFSET, FILE_OPS_SLOTS
+
+
+@pytest.fixture(scope="module")
+def system():
+    return System(profile="full")
+
+
+class TestVfs:
+    def test_open_file_signs_f_ops(self, system):
+        fobj = open_file(system, "ext4_fops")
+        raw = fobj.raw_read("f_ops")
+        assert raw != system.kernel_symbol("ext4_fops")
+        pointer, ok = fobj.get_protected(
+            "f_ops", system.cpu.pac, system.kernel_keys,
+            system.profile.key_for(KeyRole.DFI),
+        )
+        assert ok and pointer == system.kernel_symbol("ext4_fops")
+
+    def test_vfs_read_dispatch(self, system):
+        fobj = open_file(system, "ext4_fops")
+        result, _ = system.kernel_call("vfs_read", args=(fobj.address,))
+        assert result == 4096
+
+    def test_vfs_write_dispatch(self, system):
+        fobj = open_file(system, "sockfs_fops")
+        result, _ = system.kernel_call("vfs_write", args=(fobj.address,))
+        assert result == 4096
+
+    def test_in_sim_setter_matches_open_file(self, system):
+        # set_file_ops (simulated code) stores byte-for-byte what the
+        # host-side open_file computed.
+        fobj = open_file(system, "ext4_fops")
+        expected = fobj.raw_read("f_ops")
+        fobj.raw_write("f_ops", 0)
+        system.kernel_call(
+            "set_file_ops",
+            args=(fobj.address, system.kernel_symbol("ext4_fops")),
+        )
+        assert fobj.raw_read("f_ops") == expected
+
+    def test_file_ops_getter_in_sim(self, system):
+        fobj = open_file(system, "ext4_fops")
+        result, _ = system.kernel_call("file_ops", args=(fobj.address,))
+        assert result == system.kernel_symbol("ext4_fops")
+
+    def test_fops_table_slots(self, system):
+        table = system.kernel_symbol("ext4_fops")
+        read_slot = system.mmu.read_u64(
+            table + 8 * FILE_OPS_SLOTS.index("read"), 1
+        )
+        assert read_slot == system.kernel_symbol("ext4_read")
+        open_slot = system.mmu.read_u64(
+            table + 8 * FILE_OPS_SLOTS.index("open"), 1
+        )
+        assert open_slot == 0  # unimplemented slot is NULL
+
+    def test_f_ops_offset_matches_listing4(self):
+        assert FILE_F_OPS_OFFSET == 40
+
+    def test_unprotected_profile_stores_raw(self):
+        plain = System(profile="none")
+        fobj = open_file(plain, "ext4_fops")
+        assert fobj.raw_read("f_ops") == plain.kernel_symbol("ext4_fops")
+
+
+class TestWorkqueue:
+    def test_init_work_and_run(self, system):
+        work = init_work(
+            system,
+            system.heap.allocate(system.registry.type("work_struct")),
+            system.kernel_symbol("ext4_read"),
+        )
+        result, _ = run_work(system, work.address)
+        assert result == 4096
+
+    def test_work_func_signed(self, system):
+        work = init_work(
+            system,
+            system.heap.allocate(system.registry.type("work_struct")),
+            system.kernel_symbol("ext4_read"),
+        )
+        assert work.raw_read("func") != system.kernel_symbol("ext4_read")
+
+    def test_corrupted_work_detected(self, system):
+        work = init_work(
+            system,
+            system.heap.allocate(system.registry.type("work_struct")),
+            system.kernel_symbol("ext4_read"),
+        )
+        work.raw_write("func", system.kernel_symbol("ext4_write"))
+        with pytest.raises(TaskKilled):
+            run_work(system, work.address)
+
+    def test_work_runs_raw_on_unprotected_kernel(self):
+        plain = System(profile="none")
+        work = init_work(
+            plain,
+            plain.heap.allocate(plain.registry.type("work_struct")),
+            plain.kernel_symbol("ext4_read"),
+        )
+        assert work.raw_read("func") == plain.kernel_symbol("ext4_read")
+        result, _ = run_work(plain, work.address)
+        assert result == 4096
+
+    def test_setter_getter_in_sim(self, system):
+        work = system.heap.allocate(system.registry.type("work_struct"))
+        target = system.kernel_symbol("sockfs_read")
+        system.kernel_call("set_work_func", args=(work.address, target))
+        result, _ = system.kernel_call("work_func", args=(work.address,))
+        assert result == target
+
+    def test_combined_blra_dispatch(self, system):
+        # Section 4.3: BLRAB in place of the AUT + BLR pair.
+        work = init_work(
+            system,
+            system.heap.allocate(system.registry.type("work_struct")),
+            system.kernel_symbol("ext4_read"),
+        )
+        result, _ = system.kernel_call("run_work_blra", args=(work.address,))
+        assert result == 4096
+
+    def test_combined_blra_detects_corruption(self, system):
+        work = init_work(
+            system,
+            system.heap.allocate(system.registry.type("work_struct")),
+            system.kernel_symbol("ext4_read"),
+        )
+        work.raw_write("func", system.kernel_symbol("ext4_write"))
+        with pytest.raises(TaskKilled):
+            system.kernel_call("run_work_blra", args=(work.address,))
+
+    def test_combined_form_saves_an_instruction(self, system):
+        # Cycle-neutral under the PA-analogue model, but one fewer
+        # instruction (code size / issue slots — the compiler win the
+        # paper's source attribute would unlock).
+        symbols = system.kernel_image.symbols
+        all_symbols = sorted(symbols.values())
+
+        def next_symbol(name):
+            start = symbols[name]
+            return next(a for a in all_symbols if a > start)
+
+        plain = (next_symbol("run_work") - symbols["run_work"]) // 4
+        combined = (
+            next_symbol("run_work_blra") - symbols["run_work_blra"]
+        ) // 4
+        assert combined == plain - 1
+
+    def test_blra_absent_without_forward_cfi(self):
+        from repro.errors import ReproError
+
+        plain = System(profile="backward")
+        with pytest.raises(ReproError):
+            plain.kernel_symbol("run_work_blra")

@@ -1,0 +1,142 @@
+"""Tests for the PAC engine (repro.arch.pac)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pac import PACEngine
+from repro.arch.registers import PAuthKey
+from repro.arch.vmsa import VMSAConfig
+
+KEY = PAuthKey(lo=0x0123456789ABCDEF, hi=0xFEDCBA9876543210)
+OTHER_KEY = PAuthKey(lo=0x1111111111111111, hi=0x2222222222222222)
+
+kernel_pointers = st.integers(
+    min_value=0, max_value=(1 << 48) - 1
+).map(lambda low: ((1 << 64) - (1 << 48)) | low)
+user_pointers = st.integers(min_value=0, max_value=(1 << 48) - 1)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PACEngine(VMSAConfig())
+
+
+class TestAddAuth:
+    @settings(max_examples=50, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_roundtrip_kernel(self, engine, pointer, modifier):
+        signed = engine.add_pac(pointer, modifier, KEY)
+        result = engine.auth_pac(signed, modifier, KEY)
+        assert result.ok
+        assert result.pointer == pointer
+
+    @settings(max_examples=50, deadline=None)
+    @given(pointer=user_pointers, modifier=u64)
+    def test_roundtrip_user(self, engine, pointer, modifier):
+        signed = engine.add_pac(pointer, modifier, KEY)
+        result = engine.auth_pac(signed, modifier, KEY)
+        assert result.ok
+        assert result.pointer == pointer
+
+    @settings(max_examples=30, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_signed_pointer_preserves_address(self, engine, pointer, modifier):
+        signed = engine.add_pac(pointer, modifier, KEY)
+        mask = (1 << 48) - 1
+        assert signed & mask == pointer & mask
+        assert (signed >> 55) & 1 == 1  # bit 55 preserved
+
+    def test_wrong_modifier_fails(self, engine):
+        pointer = 0xFFFF_0000_0001_2340
+        signed = engine.add_pac(pointer, 0xAA, KEY)
+        result = engine.auth_pac(signed, 0xAB, KEY)
+        assert not result.ok
+
+    def test_wrong_key_fails(self, engine):
+        pointer = 0xFFFF_0000_0001_2340
+        signed = engine.add_pac(pointer, 0xAA, KEY)
+        result = engine.auth_pac(signed, 0xAA, OTHER_KEY)
+        assert not result.ok
+
+    def test_raw_pointer_fails_auth(self, engine):
+        # An attacker-injected unsigned pointer never authenticates
+        # (unless its PAC field happens to collide — not for this one).
+        pointer = 0xFFFF_0000_0001_2340
+        result = engine.auth_pac(pointer, 0xAA, KEY)
+        signed = engine.add_pac(pointer, 0xAA, KEY)
+        if signed != pointer:
+            assert not result.ok
+
+    def test_failed_auth_poisons_pointer(self, engine):
+        config = engine.config
+        pointer = 0xFFFF_0000_0001_2340
+        signed = engine.add_pac(pointer, 0xAA, KEY)
+        result = engine.auth_pac(signed, 0xBB, KEY, key_name="ia")
+        assert not config.is_canonical(result.pointer)
+
+    def test_poison_error_codes_differ_by_key_class(self, engine):
+        pointer = 0xFFFF_0000_0001_2340
+        signed = engine.add_pac(pointer, 0xAA, KEY)
+        poisoned_i = engine.auth_pac(signed, 0xBB, KEY, key_name="ia").pointer
+        poisoned_d = engine.auth_pac(signed, 0xBB, KEY, key_name="db").pointer
+        assert poisoned_i != poisoned_d
+
+    @settings(max_examples=30, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_add_pac_deterministic(self, engine, pointer, modifier):
+        assert engine.add_pac(pointer, modifier, KEY) == engine.add_pac(
+            pointer, modifier, KEY
+        )
+
+    def test_signing_already_signed_pointer_poisons(self, engine):
+        # AddPAC on a non-canonical input must yield a value that never
+        # authenticates (architectural behaviour).
+        pointer = 0xFFFF_0000_0001_2340
+        signed_once = engine.add_pac(pointer, 0xAA, KEY)
+        if signed_once != pointer:  # carries a real PAC
+            signed_twice = engine.add_pac(signed_once, 0xAA, KEY)
+            result = engine.auth_pac(signed_twice, 0xAA, KEY)
+            assert not result.ok
+
+
+class TestStrip:
+    @settings(max_examples=50, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_strip_restores_address(self, engine, pointer, modifier):
+        signed = engine.add_pac(pointer, modifier, KEY)
+        assert engine.strip(signed) == pointer
+
+    @settings(max_examples=50, deadline=None)
+    @given(pointer=user_pointers, modifier=u64)
+    def test_strip_user(self, engine, pointer, modifier):
+        signed = engine.add_pac(pointer, modifier, KEY)
+        assert engine.strip(signed) == pointer
+
+
+class TestGenericMAC:
+    def test_mac_in_top_half(self, engine):
+        mac = engine.generic_mac(0x1234, 0x5678, KEY)
+        assert mac & 0xFFFFFFFF == 0
+        assert mac != 0
+
+    def test_mac_depends_on_value_and_modifier(self, engine):
+        a = engine.generic_mac(0x1234, 0x5678, KEY)
+        b = engine.generic_mac(0x1235, 0x5678, KEY)
+        c = engine.generic_mac(0x1234, 0x5679, KEY)
+        assert len({a, b, c}) == 3
+
+
+class TestPACDistribution:
+    def test_pac_values_spread(self, engine):
+        # Different modifiers should yield many distinct PAC values.
+        pointer = 0xFFFF_0000_0001_2340
+        signed = {engine.add_pac(pointer, m, KEY) for m in range(64)}
+        assert len(signed) >= 48  # 15-bit PACs: collisions rare at n=64
+
+    def test_cipher_cache_reused(self, engine):
+        engine.add_pac(0xFFFF_0000_0000_1000, 1, KEY)
+        first = engine._cipher(KEY)
+        engine.add_pac(0xFFFF_0000_0000_2000, 2, KEY)
+        assert engine._cipher(KEY) is first

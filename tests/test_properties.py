@@ -1,0 +1,157 @@
+"""Property-based tests over the core invariants (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pac import PACEngine
+from repro.arch.registers import PAuthKey
+from repro.arch.vmsa import VMSAConfig
+from repro.cfi.modifiers import CamouflageScheme, PARTSScheme, SPOnlyScheme
+from repro.elfimage.ptrtable import field_modifier
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+u48 = st.integers(min_value=0, max_value=(1 << 48) - 1)
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+kernel_pointers = u48.map(lambda low: ((1 << 64) - (1 << 48)) | low)
+
+_ENGINE = PACEngine(VMSAConfig())
+_KEY = PAuthKey(0xA5A5_5A5A_0F0F_F0F0, 0x0123_4567_89AB_CDEF)
+
+
+class TestPacProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(pointer=kernel_pointers, good=u64, bad=u64)
+    def test_auth_accepts_iff_modifier_matches(self, pointer, good, bad):
+        assume(good != bad)
+        signed = _ENGINE.add_pac(pointer, good, _KEY)
+        assert _ENGINE.auth_pac(signed, good, _KEY).ok
+        wrong = _ENGINE.auth_pac(signed, bad, _KEY)
+        # A 15-bit PAC collides with probability 2^-15; tolerate the
+        # astronomically rare case only when the MACs truly collide.
+        if wrong.ok:
+            assert _ENGINE.add_pac(pointer, bad, _KEY) == signed
+
+    @settings(max_examples=40, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_sign_strip_is_identity(self, pointer, modifier):
+        signed = _ENGINE.add_pac(pointer, modifier, _KEY)
+        assert _ENGINE.strip(signed) == pointer
+
+    @settings(max_examples=40, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64)
+    def test_poisoned_pointer_never_canonical(self, pointer, modifier):
+        signed = _ENGINE.add_pac(pointer, modifier, _KEY)
+        result = _ENGINE.auth_pac(signed, modifier ^ 1, _KEY)
+        if not result.ok:
+            assert not _ENGINE.config.is_canonical(result.pointer)
+
+
+class TestModifierProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(sp_a=u64, sp_b=u64, fn_a=u48, fn_b=u48)
+    def test_replay_window_matches_compute_equality(
+        self, sp_a, sp_b, fn_a, fn_b
+    ):
+        for scheme in (SPOnlyScheme(), CamouflageScheme()):
+            window = scheme.replay_window(sp_a, sp_b, fn_a, fn_b)
+            equal = scheme.compute(sp_a, fn_a) == scheme.compute(sp_b, fn_b)
+            assert window == equal
+
+    @settings(max_examples=60, deadline=None)
+    @given(sp_a=u64, sp_b=u64, fid=st.integers(min_value=1, max_value=1 << 30))
+    def test_parts_window_matches_compute(self, sp_a, sp_b, fid):
+        scheme = PARTSScheme()
+        window = scheme.replay_window(sp_a, sp_b, 1, 1)
+        equal = scheme.compute(sp_a, 0, function_id=fid) == scheme.compute(
+            sp_b, 0, function_id=fid
+        )
+        assert window == equal
+
+    @settings(max_examples=60, deadline=None)
+    @given(sp=u64, fn=u48)
+    def test_camouflage_strictly_stronger_than_sp_in_function(self, sp, fn):
+        # Whenever camouflage accepts a replay, sp-only does too.
+        camo = CamouflageScheme()
+        sp_only = SPOnlyScheme()
+        for sp_b in (sp, sp ^ 0x10):
+            for fn_b in (fn, (fn + 4) & ((1 << 48) - 1)):
+                if camo.replay_window(sp, sp_b, fn, fn_b):
+                    if sp == sp_b:
+                        assert sp_only.replay_window(sp, sp_b, fn, fn_b)
+
+
+class TestFieldModifierProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(addr_a=u48, addr_b=u48, const_a=u16, const_b=u16)
+    def test_injective_over_address_and_constant(
+        self, addr_a, addr_b, const_a, const_b
+    ):
+        assume((addr_a, const_a) != (addr_b, const_b))
+        assert field_modifier(addr_a, const_a) != field_modifier(
+            addr_b, const_b
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(addr=u64, const=u16)
+    def test_only_low_48_address_bits_used(self, addr, const):
+        mask = (1 << 48) - 1
+        assert field_modifier(addr, const) == field_modifier(
+            addr & mask, const
+        )
+
+
+class TestVmsaSweepProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        va_bits=st.integers(min_value=36, max_value=52),
+        pointer=u64,
+    )
+    def test_canonicalize_round_trips_any_config(self, va_bits, pointer):
+        config = VMSAConfig(va_bits=va_bits)
+        canonical = config.canonicalize(pointer)
+        assert config.is_canonical(canonical)
+        assert config.canonicalize(canonical) == canonical
+
+    @settings(max_examples=30, deadline=None)
+    @given(va_bits=st.integers(min_value=36, max_value=52))
+    def test_pac_bits_partition(self, va_bits):
+        # PAC bits + VA bits + bit55 (+ tag byte when TBI) cover 64.
+        for tbi in (False, True):
+            config = VMSAConfig(va_bits=va_bits, tbi_kernel=tbi)
+            pac = config.pac_size(kernel=True)
+            tag = 8 if tbi else 0
+            overlap = 1 if va_bits > 55 else 0  # bit 55 inside the VA
+            assert pac + va_bits + tag + (1 - overlap) == 64
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(u16, min_size=1, max_size=12),
+    )
+    def test_program_addresses_dense_and_ordered(self, values):
+        from repro.arch import isa
+        from repro.arch.assembler import Assembler
+
+        asm = Assembler(0xFFFF_0000_0801_0000)
+        asm.fn("main")
+        for value in values:
+            asm.emit(isa.Movz(0, value, 0))
+        asm.emit(isa.Ret())
+        program = asm.assemble()
+        addresses = [a for a, _ in program.instructions]
+        assert addresses == [
+            0xFFFF_0000_0801_0000 + 4 * i for i in range(len(values) + 1)
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=u64)
+    def test_movimm_reproduces_value(self, value):
+        from repro.arch.isa import MovImm
+
+        parts = MovImm(3, value).expand()
+        acc = 0
+        for part in parts:
+            mask = 0xFFFF << part.shift
+            acc = (acc & ~mask) | ((part.imm16 & 0xFFFF) << part.shift)
+        assert acc == value

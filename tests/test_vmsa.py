@@ -1,0 +1,163 @@
+"""Tests for the VMSAv8 pointer model (repro.arch.vmsa)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.vmsa import AddressKind, VMSAConfig
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    # Module-scoped: VMSAConfig is frozen, so sharing across hypothesis
+    # examples is safe.
+    return VMSAConfig()
+
+
+class TestClassification:
+    def test_table1_kernel_range(self, config):
+        assert config.classify(0xFFFF_FFFF_FFFF_FFFF) == AddressKind.KERNEL
+        assert config.classify(0xFFFF_0000_0000_0000) == AddressKind.KERNEL
+
+    def test_table1_user_range(self, config):
+        assert config.classify(0) == AddressKind.USER
+        # Tag byte is ignored for user pointers (TBI on).
+        assert config.classify(0xAB00_FFFF_FFFF_FFFF) == AddressKind.USER
+
+    def test_table1_invalid_hole(self, config):
+        assert config.classify(0x0001_0000_0000_0000) == AddressKind.INVALID
+        assert config.classify(0xFFFE_FFFF_FFFF_FFFF) == AddressKind.INVALID
+
+    def test_kernel_tag_byte_not_ignored(self, config):
+        # Kernel TBI is off: a tampered tag byte invalidates the pointer.
+        assert config.classify(0x00FF_0000_0000_0000) == AddressKind.INVALID
+
+    def test_user_tag_byte_ignored(self, config):
+        assert config.classify(0xAB00_0000_0000_1000) == AddressKind.USER
+
+    @settings(max_examples=100, deadline=None)
+    @given(low=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_canonical_user_pointers_classify_user(self, config, low):
+        assert config.classify(low) == AddressKind.USER
+
+    @settings(max_examples=100, deadline=None)
+    @given(low=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_canonical_kernel_pointers_classify_kernel(self, config, low):
+        pointer = ((1 << 64) - (1 << 48)) | low
+        assert config.classify(pointer) == AddressKind.KERNEL
+
+
+class TestCanonicalize:
+    @settings(max_examples=100, deadline=None)
+    @given(pointer=u64)
+    def test_canonicalize_yields_canonical(self, config, pointer):
+        assert config.is_canonical(config.canonicalize(pointer))
+
+    @settings(max_examples=100, deadline=None)
+    @given(pointer=u64)
+    def test_canonicalize_idempotent(self, config, pointer):
+        once = config.canonicalize(pointer)
+        assert config.canonicalize(once) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(pointer=u64)
+    def test_canonicalize_preserves_va_bits(self, config, pointer):
+        mask = (1 << config.va_bits) - 1
+        assert config.canonicalize(pointer) & mask == pointer & mask
+
+    @settings(max_examples=100, deadline=None)
+    @given(pointer=u64)
+    def test_canonicalize_preserves_bit55(self, config, pointer):
+        assert (config.canonicalize(pointer) >> 55) & 1 == (pointer >> 55) & 1
+
+    def test_user_tag_preserved(self, config):
+        pointer = 0xAB07_0000_0000_1000
+        out = config.canonicalize(pointer)
+        assert out >> 56 == 0xAB
+
+
+class TestPACGeometry:
+    def test_paper_pac_sizes(self, config):
+        # The paper's configuration: 15 kernel bits, 7 user bits.
+        assert config.pac_size(kernel=True) == 15
+        assert config.pac_size(kernel=False) == 7
+
+    def test_pac_bits_exclude_bit55(self, config):
+        for kernel in (True, False):
+            assert 55 not in config.pac_field_bits(kernel)
+
+    def test_pac_bits_above_va(self, config):
+        for kernel in (True, False):
+            assert all(
+                b >= config.va_bits for b in config.pac_field_bits(kernel)
+            )
+
+    def test_user_pac_excludes_tag_byte(self, config):
+        assert all(b < 56 for b in config.pac_field_bits(kernel=False))
+
+    @pytest.mark.parametrize(
+        "va_bits,kernel_bits,user_bits",
+        [(48, 15, 7), (39, 24, 16), (42, 21, 13), (52, 11, 3)],
+    )
+    def test_pac_size_by_va_bits(self, va_bits, kernel_bits, user_bits):
+        config = VMSAConfig(va_bits=va_bits)
+        assert config.pac_size(kernel=True) == kernel_bits
+        assert config.pac_size(kernel=False) == user_bits
+
+    def test_paper_up_to_31_bits(self):
+        # "PACs can have up to 31 bits": smallest VA with both TBIs on
+        # gives the architectural maximum minus tag/selector bits.
+        config = VMSAConfig(va_bits=36, tbi_kernel=True)
+        assert config.pac_size(kernel=True) == 19
+        no_tbi = VMSAConfig(va_bits=36, tbi_kernel=False)
+        assert no_tbi.pac_size(kernel=True) == 27
+
+
+class TestLayoutTables:
+    def test_address_ranges_cover_space(self, config):
+        ranges = config.address_ranges()
+        assert ranges[0][3] == "Kernel"
+        assert ranges[1][3] == "Invalid"
+        assert ranges[2][3] == "User"
+        # Ranges are contiguous and cover 2^64.
+        assert ranges[2][0] == 0
+        assert ranges[0][1] == (1 << 64) - 1
+        assert ranges[1][0] == ranges[2][1] + 1
+        assert ranges[0][0] == ranges[1][1] + 1
+
+    def test_layout_fields_user(self, config):
+        fields = config.layout(kernel=False).describe()
+        names = [name for name, _, _ in fields]
+        assert names[0] == "tag (ignored)"
+        assert "page number" in names
+        assert "page offset" in names
+
+    def test_layout_fields_kernel(self, config):
+        fields = config.layout(kernel=True).describe()
+        names = [name for name, _, _ in fields]
+        assert names[0] == "sign extension"
+        assert "translation select (bit 55)" in names
+
+    def test_layout_bit_ranges_descend(self, config):
+        for kernel in (True, False):
+            fields = config.layout(kernel).describe()
+            highs = [high for _, high, _ in fields]
+            assert highs == sorted(highs, reverse=True)
+
+    def test_page_offset_width(self, config):
+        layout = config.layout(kernel=True)
+        assert len(layout.page_offset_bits) == config.page_shift
+
+
+class TestValidation:
+    def test_rejects_bad_va_bits(self):
+        with pytest.raises(ValueError):
+            VMSAConfig(va_bits=30)
+        with pytest.raises(ValueError):
+            VMSAConfig(va_bits=60)
+
+    def test_rejects_bad_page_shift(self):
+        with pytest.raises(ValueError):
+            VMSAConfig(page_shift=13)

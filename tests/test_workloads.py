@@ -1,0 +1,114 @@
+"""Tests for the evaluation workloads (repro.workloads)."""
+
+import pytest
+
+from repro.workloads.callbench import figure2_series, measure_call_cost
+from repro.workloads.lmbench import (
+    LMBENCH_BENCHMARKS,
+    build_lmbench_system,
+    run_suite,
+)
+from repro.workloads.userspace import WORKLOADS, geometric_mean, run_userspace
+
+
+class TestCallBench:
+    def test_baseline_has_zero_overhead(self):
+        cost = measure_call_cost(None, iterations=30)
+        assert cost.overhead_cycles == 0
+
+    def test_every_scheme_adds_cost(self):
+        for scheme in ("sp-only", "camouflage", "parts"):
+            cost = measure_call_cost(scheme, iterations=30)
+            assert cost.overhead_cycles > 0
+
+    def test_figure2_ordering(self):
+        series = {c.scheme: c for c in figure2_series(iterations=30)}
+        assert (
+            series["sp-only"].overhead_cycles
+            < series["camouflage"].overhead_cycles
+            < series["parts"].overhead_cycles
+        )
+
+    def test_ns_conversion(self):
+        cost = measure_call_cost("sp-only", iterations=30)
+        # 1.2 GHz: 1 cycle = 0.8333 ns.
+        assert cost.overhead_ns == pytest.approx(
+            cost.overhead_cycles / 1.2, rel=1e-6
+        )
+
+    def test_overhead_independent_of_iterations(self):
+        a = measure_call_cost("camouflage", iterations=20)
+        b = measure_call_cost("camouflage", iterations=60)
+        assert a.overhead_cycles == pytest.approx(b.overhead_cycles, abs=0.5)
+
+
+class TestLmbench:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_suite(iterations=5)
+
+    def test_all_benchmarks_present(self, rows):
+        assert [r.name for r in rows] == list(LMBENCH_BENCHMARKS)
+
+    def test_monotone_across_profiles(self, rows):
+        for row in rows:
+            assert (
+                row.cycles["none"]
+                < row.cycles["backward"]
+                < row.cycles["full"]
+            )
+
+    def test_double_digit_syscall_overhead(self, rows):
+        for row in rows:
+            assert 10.0 <= row.overhead_pct("full") < 100.0
+
+    def test_relative_normalisation(self, rows):
+        for row in rows:
+            assert row.relative()["none"] == 1.0
+
+    def test_select_heaviest(self, rows):
+        # select iterates ten fds: by far the most call-dense row.
+        select = next(r for r in rows if r.name == "select_10fd")
+        others = [r for r in rows if r.name != "select_10fd"]
+        assert select.cycles["none"] > max(o.cycles["none"] for o in others)
+
+    def test_system_builds_with_all_syscalls(self):
+        system = build_lmbench_system("none")
+        for name in LMBENCH_BENCHMARKS:
+            assert name in system.syscall_numbers
+
+
+class TestUserspace:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_userspace(iterations=3)
+
+    def test_geomean_below_four_percent(self, results):
+        _, geomeans = results
+        assert 100.0 * (geomeans["full"] - 1.0) < 4.0
+
+    def test_backward_cheaper_than_full(self, results):
+        _, geomeans = results
+        assert geomeans["backward"] < geomeans["full"]
+
+    def test_user_heavy_cheapest(self, results):
+        rows, _ = results
+        by_name = {r.name: r for r in rows}
+        assert (
+            by_name["jpeg-resize"].overhead_pct("full")
+            < by_name["deb-build"].overhead_pct("full")
+            < by_name["net-download"].overhead_pct("full")
+        )
+
+    def test_jpeg_nearly_free(self, results):
+        rows, _ = results
+        jpeg = next(r for r in rows if r.name == "jpeg-resize")
+        assert jpeg.overhead_pct("full") < 1.0
+
+    def test_workload_mix_spectrum(self):
+        works = [spec.user_work for spec in WORKLOADS]
+        assert works == sorted(works, reverse=True)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Install the offline wheel shim into the running interpreter's
+site-packages, registering the bdist_wheel entry point so setuptools
+can find it.  Needed only in offline environments without the real
+`wheel` distribution; `pip install -e .` works afterwards."""
+
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main():
+    target = site.getsitepackages()[0]
+    package_dst = os.path.join(target, "wheel")
+    if os.path.exists(os.path.join(package_dst, "wheelfile.py")):
+        print(f"wheel already present at {package_dst}")
+        return 0
+    shutil.copytree(os.path.join(HERE, "wheel"), package_dst,
+                    dirs_exist_ok=True)
+    dist_info = os.path.join(target, "wheel-0.38.0.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(
+            "Metadata-Version: 2.1\nName: wheel\nVersion: 0.38.0\n"
+            "Summary: offline shim for PEP 660 editable installs\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as handle:
+        handle.write(
+            "[distutils.commands]\n"
+            "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n"
+        )
+    with open(os.path.join(dist_info, "RECORD"), "w") as handle:
+        handle.write("")
+    print(f"installed wheel shim into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

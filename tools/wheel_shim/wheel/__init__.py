@@ -1,0 +1,10 @@
+"""Minimal offline stand-in for the PyPA `wheel` package.
+
+Provides exactly the API surface setuptools' PEP 660 editable-wheel
+path needs (`wheel.wheelfile.WheelFile` and the `bdist_wheel`
+distutils command), so `pip install -e .` works in offline
+environments where the real `wheel` distribution cannot be fetched.
+Install with: python tools/wheel_shim/install.py
+"""
+
+__version__ = "0.38.0+shim"

@@ -1,0 +1,101 @@
+"""Just enough of the bdist_wheel distutils command for PEP 660."""
+
+import os
+import sys
+
+from distutils.core import Command
+
+
+def python_tag():
+    return f"py{sys.version_info[0]}"
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+    user_options = [
+        ("bdist-dir=", "b", "temporary build directory"),
+        ("dist-dir=", "d", "directory for the archive"),
+        ("universal", None, "make a universal wheel"),
+    ]
+    boolean_options = ["universal"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.universal = False
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        """Pure-Python tag; the shim does not build extensions."""
+        return (python_tag(), "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        path = os.path.join(wheelfile_base, "WHEEL")
+        tag = "-".join(self.get_tag())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("Wheel-Version: 1.0\n")
+            handle.write(
+                f"Generator: wheel-shim ({generator or 'offline'})\n"
+            )
+            handle.write("Root-Is-Purelib: true\n")
+            handle.write(f"Tag: {tag}\n")
+
+    def run(self):
+        raise NotImplementedError(
+            "the offline wheel shim only supports editable installs"
+        )
+
+
+def _convert_requires(egg_info_dir, lines):
+    """Translate egg-info requires.txt into Requires-Dist metadata."""
+    requires_path = os.path.join(egg_info_dir, "requires.txt")
+    if not os.path.exists(requires_path):
+        return
+    extra = None
+    with open(requires_path, encoding="utf-8") as handle:
+        for raw in handle:
+            entry = raw.strip()
+            if not entry:
+                continue
+            if entry.startswith("[") and entry.endswith("]"):
+                extra = entry[1:-1]
+                if ":" in extra:
+                    extra = extra.split(":", 1)[0]
+                if extra:
+                    lines.append(f"Provides-Extra: {extra}")
+                continue
+            if extra:
+                lines.append(
+                    f"Requires-Dist: {entry}; extra == \"{extra}\""
+                )
+            else:
+                lines.append(f"Requires-Dist: {entry}")
+
+
+def _egg2dist(self, egg_info_dir, dist_info_dir):
+    """Convert .egg-info metadata into a .dist-info directory."""
+    import shutil
+
+    if os.path.exists(dist_info_dir):
+        shutil.rmtree(dist_info_dir)
+    os.makedirs(dist_info_dir)
+    pkg_info = os.path.join(egg_info_dir, "PKG-INFO")
+    with open(pkg_info, encoding="utf-8") as handle:
+        content = handle.read()
+    headers, _, body = content.partition("\n\n")
+    lines = headers.splitlines()
+    _convert_requires(egg_info_dir, lines)
+    with open(
+        os.path.join(dist_info_dir, "METADATA"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write("\n".join(lines) + "\n\n" + body)
+    for extra_file in ("entry_points.txt", "top_level.txt"):
+        source = os.path.join(egg_info_dir, extra_file)
+        if os.path.exists(source):
+            shutil.copy2(source, os.path.join(dist_info_dir, extra_file))
+
+
+bdist_wheel.egg2dist = _egg2dist

@@ -1,0 +1,68 @@
+"""A RECORD-maintaining zipfile, API-compatible with wheel.wheelfile."""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+
+def _urlsafe_b64(digest):
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive that appends RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode=mode, compression=compression,
+                         allowZip64=True)
+        self._records = []
+        basename = os.path.basename(str(file))
+        stem = basename[: -len(".whl")] if basename.endswith(".whl") else basename
+        parts = stem.split("-")
+        self.dist_info_path = "-".join(parts[:2]) + ".dist-info"
+        self.record_path = self.dist_info_path + "/RECORD"
+
+    def _record(self, arcname, data):
+        digest = hashlib.sha256(data).digest()
+        self._records.append(
+            f"{arcname},sha256={_urlsafe_b64(digest)},{len(data)}"
+        )
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        self._record(arcname, data)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        with open(filename, "rb") as handle:
+            self._record(arcname or filename, handle.read())
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` (deterministic order)."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    self.write(path, arcname)
+
+    def close(self):
+        if self.mode == "w" and not self._final_record_written():
+            lines = "\n".join(self._records + [f"{self.record_path},,"]) + "\n"
+            super().writestr(self.record_path, lines.encode("utf-8"))
+        super().close()
+
+    def _final_record_written(self):
+        try:
+            return self.record_path in self.namelist()
+        except Exception:
+            return False
