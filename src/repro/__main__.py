@@ -7,7 +7,10 @@ Commands:
 * ``attacks`` — run the full security matrix;
 * ``experiments`` — run every experiment and print the summaries;
 * ``survey`` — the §5.3 function-pointer survey;
-* ``boot`` — boot a kernel under a chosen profile and print its layout.
+* ``boot`` — boot a kernel under a chosen profile and print its layout;
+* ``trace`` — run a workload under the tracer and report per-event
+  counters, cycle histograms and the instruction mix (``--json`` dumps
+  the full trace).
 """
 
 from __future__ import annotations
@@ -145,6 +148,59 @@ def _cmd_boot(args):
     return 0
 
 
+def _cmd_trace(args):
+    from repro.bench import (
+        run_fig2,
+        run_fig3,
+        run_fig4,
+        run_key_switch,
+        run_survey,
+    )
+    from repro.bench.harness import run_traced
+    from repro.trace.report import render_summary
+
+    def _syscall():
+        # A user-mode null-syscall loop on a fully booted system: the
+        # workload that exercises the Section 6.1 key choreography.
+        from repro.workloads.lmbench import _measure_one, build_lmbench_system
+
+        system = build_lmbench_system(args.profile)
+        system.map_user_stack()
+        return _measure_one(system, "null_call", args.iterations)
+
+    workloads = {
+        "syscall": _syscall,
+        "fig2": lambda: run_fig2(iterations=args.iterations * 4),
+        "fig3": lambda: run_fig3(iterations=max(2, args.iterations // 2)),
+        "fig4": lambda: run_fig4(iterations=max(2, args.iterations // 4)),
+        "key-switch": lambda: run_key_switch(iterations=args.iterations),
+        "survey": run_survey,
+    }
+    result, tracer = run_traced(
+        workloads[args.workload],
+        capacity=args.capacity,
+        instructions=not args.no_instructions,
+    )
+    if hasattr(result, "summary"):
+        print(result.summary())
+        print()
+    elif result is not None:
+        print(f"{args.workload}: {result:.2f} cycles/iteration")
+        print()
+    print(render_summary(tracer))
+    if args.json:
+        tracer.export_json(args.json, event_limit=args.event_limit)
+        print(f"\ntrace written to {args.json}")
+    return 0
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -166,6 +222,32 @@ def main(argv=None):
         default="xom",
         choices=("xom", "el2-trap", "banked-isa"),
     )
+    trace = sub.add_parser("trace", help="run a workload under the tracer")
+    trace.add_argument(
+        "workload",
+        choices=("syscall", "fig2", "fig3", "fig4", "key-switch", "survey"),
+    )
+    trace.add_argument("--iterations", type=_positive_int, default=10)
+    trace.add_argument(
+        "--profile",
+        default="full",
+        choices=("none", "backward", "full"),
+        help="profile for the syscall workload (others run their own set)",
+    )
+    trace.add_argument("--json", metavar="FILE", help="export the trace")
+    trace.add_argument("--capacity", type=int, default=65536)
+    trace.add_argument(
+        "--event-limit",
+        type=int,
+        default=None,
+        help="cap the number of raw events in the JSON export",
+    )
+    trace.add_argument(
+        "--no-instructions",
+        action="store_true",
+        help="aggregate instruction counts only (lighter, no per-key "
+        "attribution events)",
+    )
 
     args = parser.parse_args(argv)
     handler = {
@@ -175,6 +257,7 @@ def main(argv=None):
         "experiments": _cmd_experiments,
         "survey": _cmd_survey,
         "boot": _cmd_boot,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

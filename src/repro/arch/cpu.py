@@ -82,6 +82,18 @@ class CPU:
         self.hvc_hook = None
         #: Auth-failure observer (fault-free statistics for experiments).
         self.auth_failure_hook = None
+        #: Nullable tracer (:class:`repro.trace.Tracer`).  Every emit
+        #: site is behind one ``is not None`` check, so the disabled
+        #: path costs a single attribute read and simulated cycle
+        #: counts are identical with and without tracing.  A bare core
+        #: created inside a process-wide trace session picks it up here
+        #: (architectural events only; booting a full System layers the
+        #: kernel tracepoints on top).
+        self.tracer = None
+        from repro.trace import attach_cpu, global_tracer
+
+        if global_tracer() is not None:
+            attach_cpu(self, global_tracer())
         #: Asynchronous interrupt plumbing: a pending IRQ line plus an
         #: optional free-running timer raising it every ``timer_period``
         #: cycles (the preemption-tick model).  IRQs are delivered
@@ -153,8 +165,17 @@ class CPU:
         result = self.pac.auth_pac(
             pointer, modifier, self._key(key_name), key_name=key_name
         )
-        if not result.ok and self.auth_failure_hook is not None:
-            self.auth_failure_hook(key_name, pointer, modifier)
+        if not result.ok:
+            if self.auth_failure_hook is not None:
+                self.auth_failure_hook(key_name, pointer, modifier)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "auth_failure",
+                    cycle=self.cycles,
+                    key=key_name,
+                    pointer=pointer,
+                    el=self.regs.current_el,
+                )
         return result.pointer
 
     def pac_strip(self, pointer):
@@ -176,7 +197,22 @@ class CPU:
                 "APKSSEL_EL1 requires the banked-keys ISA extension",
                 el=self.regs.current_el,
             )
+        if name == "APKSSEL_EL1" and self.tracer is not None:
+            self.tracer.emit(
+                "key_bank_select",
+                cycle=self.cycles,
+                bank=value & 1,
+                el=self.regs.current_el,
+            )
         if name in KEY_REGISTER_NAMES:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "key_write",
+                    cycle=self.cycles,
+                    register=name,
+                    el=self.regs.current_el,
+                    shadow=not self.has_pauth,
+                )
             if not self.has_pauth:
                 # The registers do not exist on v8.0; the paper's
                 # PA-analogue substitutes CONTEXTIDR_EL1 writes.
@@ -217,6 +253,15 @@ class CPU:
                 f"exception ({kind}) with no vector table installed"
             )
         return_pc = self.regs.pc + 4 if kind == "svc" else self.regs.pc
+        if self.tracer is not None:
+            self.tracer.emit(
+                "exception_entry",
+                cycle=self.cycles,
+                exc=kind,
+                source_el=source_el,
+                syndrome=syndrome,
+                syscall=self.regs.read(8) if kind == "svc" else None,
+            )
         self.regs.elr[1] = return_pc
         self.regs.spsr[1] = source_el
         self.regs.sysregs["ESR_EL1"] = syndrome
@@ -230,6 +275,13 @@ class CPU:
         """ERET: restore the saved EL and return the saved PC."""
         target_el = self.regs.spsr[1]
         return_pc = self.regs.elr[1]
+        if self.tracer is not None:
+            self.tracer.emit(
+                "exception_return",
+                cycle=self.cycles,
+                target_el=target_el,
+                return_pc=return_pc,
+            )
         self.regs.current_el = target_el
         self.regs.interrupts_masked = False
         return return_pc
@@ -251,6 +303,12 @@ class CPU:
         ):
             self.pending_irq = False
             self.irqs_delivered += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "irq_delivered",
+                    cycle=self.cycles,
+                    el=self.regs.current_el,
+                )
             self.take_exception("irq")
             return True
         return False
@@ -264,13 +322,16 @@ class CPU:
         pc = self.regs.pc
         try:
             instruction = self.mmu.fetch(pc, self.regs.current_el)
-            self.cycles += instruction.cost_on(self)
+            cost = instruction.cost_on(self)
+            self.cycles += cost
             next_pc = instruction.execute(self)
         except SimFault as fault:
             if self.fault_hook is not None and self.fault_hook(self, fault):
                 return
             raise
         self.instructions_retired += 1
+        if self.tracer is not None:
+            self.tracer.insn(self, pc, instruction, cost)
         self.regs.pc = (pc + 4 if next_pc is None else next_pc) & _MASK64
 
     def run(self, max_steps=1_000_000):

@@ -60,6 +60,12 @@ class PACEngine:
         self.rounds = rounds
         self.sbox_index = sbox_index
         self._cipher_cache = {}
+        #: Nullable tracing hook ``(op, ok)`` — one call per
+        #: architectural PAC operation, whether it runs on the core or
+        #: host-side (boot signing, object initialization).  The
+        #: internal AddPAC a failed AuthPAC recomputes is not reported
+        #: separately.
+        self.trace_hook = None
 
     # -- internals -----------------------------------------------------------
 
@@ -97,6 +103,11 @@ class PACEngine:
         carries a PAC), the architecture guarantees the result will not
         authenticate: one PAC bit is deliberately inverted.
         """
+        if self.trace_hook is not None:
+            self.trace_hook("add", True)
+        return self._add_pac(pointer, modifier, key)
+
+    def _add_pac(self, pointer, modifier, key):
         pointer &= _MASK64
         bits = self._pac_bits(pointer)
         mac = self.compute_pac(pointer, modifier, key)
@@ -118,17 +129,26 @@ class PACEngine:
         the per-key error code in the top extension bits.
         """
         pointer &= _MASK64
-        expected = self.add_pac(self.config.canonicalize(pointer), modifier, key)
-        if expected == pointer:
+        expected = self._add_pac(
+            self.config.canonicalize(pointer), modifier, key
+        )
+        ok = expected == pointer
+        if self.trace_hook is not None:
+            self.trace_hook("auth", ok)
+        if ok:
             return PACResult(self.config.canonicalize(pointer), True)
         return PACResult(self._poison(pointer, key, key_name), False)
 
     def strip(self, pointer):
         """XPAC* instruction: restore the canonical extension bits."""
+        if self.trace_hook is not None:
+            self.trace_hook("strip", True)
         return self.config.canonicalize(pointer & _MASK64)
 
     def generic_mac(self, value, modifier, key):
         """PACGA: standalone 32-bit MAC in the top half of the result."""
+        if self.trace_hook is not None:
+            self.trace_hook("generic", True)
         mac = self._cipher(key).encrypt(value & _MASK64, modifier & _MASK64)
         return (mac & 0xFFFFFFFF00000000) & _MASK64
 

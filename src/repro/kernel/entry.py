@@ -51,6 +51,7 @@ __all__ = [
     "IRQ_HANDLER_SYMBOL",
     "build_vectors_and_entry",
     "build_restore_user_keys",
+    "EntryTracepoints",
 ]
 
 #: Saved-register frame: x0..x30 at 0..240, then ELR, SPSR and the
@@ -276,6 +277,166 @@ def _verify_frame_mac_irq():
         isa.BCond("eq", "__frame_mac_ok_irq"),
         isa.HostCall(_frame_mac_panic, "frame-mac-panic"),
     ]
+
+
+def _symbol_range(image, symbol):
+    """The half-open address range of ``symbol`` in ``image``.
+
+    The end is the next symbol above it (symbols in this image model
+    are function entry points, so consecutive symbols bound function
+    bodies); a symbol with nothing above it gets a one-page bound.
+    """
+    start = image.symbols.get(symbol)
+    if start is None:
+        return None
+    above = [a for a in image.symbols.values() if a > start]
+    return (start, min(above) if above else start + 0x1000)
+
+
+class EntryTracepoints:
+    """Kernel-entry semantic events, derived from architectural ones.
+
+    Registered as a tracer listener by
+    :meth:`~repro.kernel.system.System.attach_tracer`.  It watches the
+    raw core events and emits the entry layer's semantic stream:
+
+    * ``syscall_enter``/``syscall_exit`` and ``irq_enter``/``irq_exit``
+      from exception entry/return (exit events carry the full kernel
+      round-trip cost, so syscall latency histograms come for free);
+    * ``key_switch`` — one per 128-bit key installed, with the cycles
+      attributable to that key (immediate materialisation + MSRs on the
+      entry path, LDP + MSRs on the exit path: the 12- and 6-cycle
+      halves of the paper's ~9-cycles-per-key average, Section 6.1.1);
+    * ``key_bank_switch`` — one per traversal of the XOM key setter or
+      ``__restore_user_keys``, with the total cycles spent inside
+      (including modifier scrubbing and the return).
+
+    Cycle attribution works by PC region: instruction-retire events are
+    binned against the key setter's page and the restore function's
+    symbol range, so the instrumented entry stubs themselves need no
+    extra instructions — traced and untraced kernels execute the exact
+    same text.
+    """
+
+    def __init__(self, system, tracer):
+        self.system = system
+        self.tracer = tracer
+        self._exceptions = []  # stack of (kind, enter cycle, syscall nr)
+        self._regions = self._key_regions()
+        self._bank = None
+        self._bank_cycles = 0
+        self._since_key = 0
+        self._keys_done = 0
+        self._half_writes = 0
+        self._key_pending = None
+
+    def _key_regions(self):
+        """PC ranges of the two key-switching code bodies."""
+        system = self.system
+        regions = {}
+        setter = system.key_setter_address
+        if setter is not None:
+            in_image = _symbol_range(system.kernel_image, KEY_SETTER_SYMBOL)
+            if in_image is not None:
+                regions["kernel"] = in_image
+            else:
+                # The XOM setter owns its page outright.
+                regions["kernel"] = (setter, (setter & ~0xFFF) + 0x1000)
+        restore = _symbol_range(
+            system.kernel_image, RESTORE_USER_KEYS_SYMBOL
+        )
+        if restore is not None:
+            regions["user"] = restore
+        return regions
+
+    # -- listener ------------------------------------------------------------
+
+    def __call__(self, event):
+        kind = event.kind
+        if kind == "insn_retire":
+            self._on_insn(event)
+        elif kind == "key_write":
+            self._on_key_write(event)
+        elif kind == "exception_entry":
+            self._on_exception_entry(event)
+        elif kind == "exception_return":
+            self._on_exception_return(event)
+
+    # -- exception bracketing -------------------------------------------------
+
+    def _on_exception_entry(self, event):
+        if event.data.get("source_el") != 0:
+            return
+        if event.data.get("exc") == "svc":
+            nr = event.data.get("syscall")
+            self.tracer.emit("syscall_enter", cycle=event.cycle, nr=nr)
+            self._exceptions.append(("svc", event.cycle, nr))
+        else:
+            self.tracer.emit("irq_enter", cycle=event.cycle)
+            self._exceptions.append(("irq", event.cycle, None))
+
+    def _on_exception_return(self, event):
+        if event.data.get("target_el") != 0 or not self._exceptions:
+            return
+        kind, entered, nr = self._exceptions.pop()
+        cost = event.cycle - entered
+        if kind == "svc":
+            self.tracer.emit(
+                "syscall_exit", cycle=event.cycle, cost=cost, nr=nr
+            )
+        else:
+            self.tracer.emit("irq_exit", cycle=event.cycle, cost=cost)
+
+    # -- key-switch accounting -------------------------------------------------
+
+    def _bank_of(self, pc):
+        for bank, (start, end) in self._regions.items():
+            if start <= pc < end:
+                return bank
+        return None
+
+    def _on_insn(self, event):
+        bank = self._bank_of(event.data.get("pc", 0))
+        if bank != self._bank:
+            if self._bank is not None:
+                self.tracer.emit(
+                    "key_bank_switch",
+                    cycle=event.cycle,
+                    cost=self._bank_cycles,
+                    bank=self._bank,
+                    keys=self._keys_done,
+                )
+            self._bank = bank
+            self._bank_cycles = 0
+            self._since_key = 0
+            self._keys_done = 0
+            self._half_writes = 0
+            self._key_pending = None
+        if bank is None:
+            return
+        self._bank_cycles += event.cost
+        self._since_key += event.cost
+        if self._key_pending is not None:
+            # The MSR that completed the key has now retired, so its
+            # own cycles are included in the per-key attribution.
+            self._keys_done += 1
+            self.tracer.emit(
+                "key_switch",
+                cycle=event.cycle,
+                cost=self._since_key,
+                key=self._key_pending,
+                bank=bank,
+            )
+            self._since_key = 0
+            self._key_pending = None
+
+    def _on_key_write(self, event):
+        if self._bank is None:
+            return
+        self._half_writes += 1
+        if self._half_writes % 2 == 0:
+            register = event.data.get("register", "")
+            self._key_pending = register[2:4].lower() or "??"
 
 
 def build_irq_handler(asm, compiler, irq_dispatch=None):

@@ -63,6 +63,9 @@ class FaultManager:
     records: list = field(default_factory=list)
     pauth_failures: int = 0
     current_task_id: int = None
+    #: Nullable tracer; every handled fault emits a ``fault`` event and
+    #: PAuth signatures additionally tick ``panic_threshold_tick``.
+    tracer: object = None
 
     def is_pauth_signature(self, fault):
         """Heuristic the kernel applies: non-canonical faulting address."""
@@ -87,8 +90,25 @@ class FaultManager:
                 task_id=self.current_task_id,
             )
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault",
+                cycle=cpu.cycles,
+                fault=type(fault).__name__,
+                address=fault.address or 0,
+                el=cpu.regs.current_el,
+                pauth=pauth_related,
+                task=self.current_task_id,
+            )
         if pauth_related:
             self.pauth_failures += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "panic_threshold_tick",
+                    cycle=cpu.cycles,
+                    failures=self.pauth_failures,
+                    remaining=max(0, self.threshold - self.pauth_failures),
+                )
             if self.panic_on_threshold and self.pauth_failures >= self.threshold:
                 raise KernelPanic(
                     f"PAuth failure threshold reached "

@@ -120,7 +120,17 @@ class Scheduler:
         cpu = system.cpu
         cpu.regs.write(0, prev.address)
         cpu.regs.write(1, next_task.address)
+        start_cycles = cpu.cycles
         cpu.call(address, args=(prev.address, next_task.address), max_steps=max_steps)
+        tracer = getattr(system, "tracer", None)
+        if tracer is not None:
+            tracer.emit(
+                "context_switch",
+                cycle=cpu.cycles,
+                cost=cpu.cycles - start_cycles,
+                prev=prev.tid,
+                next=next_task.tid,
+            )
         system.tasks.set_current(next_task)
         self.switches += 1
         return next_task

@@ -37,6 +37,7 @@ from repro.kernel import layout
 from repro.kernel.entry import (
     RESTORE_USER_KEYS_SYMBOL,
     VECTORS_SYMBOL,
+    EntryTracepoints,
     build_irq_handler,
     build_restore_user_keys,
     build_vectors_and_entry,
@@ -141,11 +142,23 @@ class System:
         self.key_setter_address = None
         #: Host device actions invoked by the in-kernel IRQ handler.
         self.irq_actions = []
+        #: Attached tracer (see :meth:`attach_tracer`); None when
+        #: tracing is off, which must stay the zero-cost default.
+        self.tracer = None
+        self._entry_tracepoints = None
 
         self._stack_stride = stack_stride
         self._fault_threshold = fault_threshold
         self._define_types()
         self._boot(text_builders)
+
+        # A process-wide trace session (``TraceSession()`` with no
+        # target) captures every system booted inside it — that is how
+        # existing benchmarks run under tracing unmodified.
+        from repro.trace import global_tracer
+
+        if global_tracer() is not None:
+            self.attach_tracer(global_tracer())
 
     # -- construction ------------------------------------------------------------
 
@@ -336,6 +349,55 @@ class System:
 
     def kernel_symbol(self, name):
         return self.kernel_image.address_of(name)
+
+    # -- tracing ----------------------------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Thread ``tracer`` through every layer of this system.
+
+        The core emits architectural events (instruction retire, PAC
+        ops, exceptions, key writes), the PAC engine reports host-side
+        signing too, the fault manager reports faults and panic ticks,
+        and the entry tracepoints translate the raw stream into
+        semantic syscall/key-switch events.  Detach with
+        :meth:`detach_tracer`; attaching never changes simulated cycle
+        counts.
+        """
+        from repro.trace import attach_cpu
+
+        if self.tracer is not None:
+            self.detach_tracer()
+        self.tracer = tracer
+        attach_cpu(self.cpu, tracer)
+        self.faults.tracer = tracer
+        self._entry_tracepoints = EntryTracepoints(self, tracer)
+        tracer.add_listener(self._entry_tracepoints)
+        return tracer
+
+    def detach_tracer(self):
+        """Remove the attached tracer from every layer (idempotent)."""
+        from repro.trace import detach_cpu
+
+        if self.tracer is None:
+            return
+        self.tracer.remove_listener(self._entry_tracepoints)
+        self._entry_tracepoints = None
+        detach_cpu(self.cpu)
+        self.faults.tracer = None
+        self.tracer = None
+
+    def trace(self, tracer=None, capacity=65536):
+        """Context manager: trace this system for the block's duration.
+
+        ::
+
+            with system.trace() as tracer:
+                ...
+            print(tracer.count("syscall_enter"))
+        """
+        from repro.trace import TraceSession
+
+        return TraceSession(self, tracer=tracer, capacity=capacity)
 
     # -- interrupts -------------------------------------------------------------------
 

@@ -122,4 +122,15 @@ def init_work(system, work_obj, callback_address):
 def run_work(system, work_address, max_steps=100_000):
     """Invoke ``run_work`` in simulation for one work item."""
     address = system.kernel_symbol("run_work")
-    return system.cpu.call(address, args=(work_address,), max_steps=max_steps)
+    result, cycles = system.cpu.call(
+        address, args=(work_address,), max_steps=max_steps
+    )
+    tracer = getattr(system, "tracer", None)
+    if tracer is not None:
+        tracer.emit(
+            "work_exec",
+            cycle=system.cpu.cycles,
+            cost=cycles,
+            work=work_address,
+        )
+    return result, cycles

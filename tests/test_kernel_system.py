@@ -11,12 +11,11 @@ from repro.kernel.entry import RESTORE_USER_KEYS_SYMBOL
 
 
 @pytest.fixture(scope="module")
-def full_system():
-    system = System(profile="full")
-    system.map_user_stack()
-    f = open_file(system, "ext4_fops")
-    system.install_fd(3, f)
-    return system
+def full_system(traced_system):
+    # The shared conftest fixture is exactly this module's old setup
+    # (full profile, user stack, ext4 file at fd 3) plus a tracer —
+    # which never changes cycle counts.
+    return traced_system
 
 
 def _user_syscall_program(system, name, arg0=None, extra=()):

@@ -9,8 +9,8 @@ from repro.kernel.vfs import FILE_F_OPS_OFFSET, FILE_OPS_SLOTS
 
 
 @pytest.fixture(scope="module")
-def system():
-    return System(profile="full")
+def system(traced_system):
+    return traced_system
 
 
 class TestVfs:
