@@ -10,7 +10,9 @@ Commands:
 * ``boot`` — boot a kernel under a chosen profile and print its layout;
 * ``trace`` — run a workload under the tracer and report per-event
   counters, cycle histograms and the instruction mix (``--json`` dumps
-  the full trace).
+  the full trace);
+* ``inject`` — run a seeded fault-injection campaign and print the
+  detection matrix (exit status 1 if any corruption escaped).
 """
 
 from __future__ import annotations
@@ -77,6 +79,7 @@ def _cmd_experiments(_args):
         run_fig4,
         run_frame_mac_ablation,
         run_hardened_abi,
+        run_injection_matrix,
         run_irq_overhead,
         run_key_mgmt_ablation,
         run_key_switch,
@@ -103,6 +106,7 @@ def _cmd_experiments(_args):
         run_pac_size_sweep,
         run_hardened_abi,
         run_canary_ablation,
+        run_injection_matrix,
     )
     failures = 0
     for runner in runners:
@@ -194,6 +198,43 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_inject(args):
+    from repro.inject import (
+        DEFAULT_SEED,
+        InjectionCampaign,
+        render_matrix,
+        render_site_listing,
+    )
+
+    if args.list:
+        print(render_site_listing())
+        return 0
+    campaign = InjectionCampaign(
+        profile=args.profile,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        trials=1 if args.smoke else args.trials,
+        invariants=not args.no_invariants,
+        sites=args.site or None,
+    )
+    matrix = campaign.run()
+    print(render_matrix(matrix))
+    control = campaign.run_control()
+    print(
+        f"control run (no injection): clean — "
+        f"{control['syscalls']} syscall(s), "
+        f"{control['context_switches']} context switch(es), "
+        f"{control['faults']} faults"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(matrix.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"matrix written to {args.json}")
+    return 1 if matrix.escaped else 0
+
+
 def _positive_int(text):
     value = int(text)
     if value < 1:
@@ -249,6 +290,38 @@ def main(argv=None):
         "attribution events)",
     )
 
+    inject = sub.add_parser(
+        "inject", help="seeded fault-injection campaign"
+    )
+    inject.add_argument(
+        "--profile", default="full", choices=("none", "backward", "full")
+    )
+    inject.add_argument(
+        "--seed",
+        type=lambda t: int(t, 0),
+        default=None,
+        help="campaign seed (default 0xc4f1); same seed, same matrix",
+    )
+    inject.add_argument("--trials", type=_positive_int, default=2)
+    inject.add_argument(
+        "--site",
+        action="append",
+        metavar="NAME",
+        help="run only this site (repeatable; default: all)",
+    )
+    inject.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="disable the invariant checker (shows what escapes)",
+    )
+    inject.add_argument(
+        "--smoke", action="store_true", help="single trial per site (CI)"
+    )
+    inject.add_argument("--json", metavar="FILE", help="export the matrix")
+    inject.add_argument(
+        "--list", action="store_true", help="list registered sites and exit"
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "demo": _cmd_demo,
@@ -258,6 +331,7 @@ def main(argv=None):
         "survey": _cmd_survey,
         "boot": _cmd_boot,
         "trace": _cmd_trace,
+        "inject": _cmd_inject,
     }[args.command]
     return handler(args)
 

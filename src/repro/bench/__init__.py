@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     run_vmsa_tables,
 )
 from repro.bench.harness import ExperimentRecord, TextTable, ns_from_cycles
+from repro.bench.injection import run_injection_matrix
 
 __all__ = [
     "run_key_mgmt_ablation",
@@ -41,6 +42,7 @@ __all__ = [
     "run_bruteforce",
     "run_vmsa_tables",
     "run_compat",
+    "run_injection_matrix",
     "ExperimentRecord",
     "TextTable",
     "ns_from_cycles",

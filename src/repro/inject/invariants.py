@@ -1,0 +1,227 @@
+"""Cross-layer invariant checking (the KASAN-style always-on monitor).
+
+The Camouflage security argument leans on machinery that only runs when
+things go wrong — poisoned pointers, the Section 5.4 fault counter, the
+panic threshold.  :class:`InvariantChecker` watches that machinery from
+the *outside*: it snapshots the security configuration at attach time,
+listens to the trace stream for events that must obey protocol
+(exception entry/return pairing, monotone failure counts), and offers a
+:meth:`~InvariantChecker.sweep` that cross-checks live kernel state
+against the architecture, the fault log and the trace counters.
+
+A violated invariant raises :class:`InvariantViolation` immediately —
+from inside a tracer listener when the evidence is an event (so the
+violating ERET never completes), or from the sweep when it is state.
+The fault-injection campaign treats that exception as a detection, on
+par with a task kill or a kernel panic.
+"""
+
+from __future__ import annotations
+
+from repro.arch.vmsa import AddressKind
+from repro.errors import ReproError
+
+__all__ = ["InvariantViolation", "InvariantChecker"]
+
+
+class InvariantViolation(ReproError):
+    """A cross-layer invariant does not hold.
+
+    ``invariant`` names the violated rule (stable identifiers, used by
+    the detection matrix and the regression tests).
+    """
+
+    def __init__(self, invariant, message):
+        super().__init__(f"{invariant}: {message}")
+        self.invariant = invariant
+
+
+class InvariantChecker:
+    """Validates cross-layer invariants of one booted system.
+
+    Event invariants (checked live, via the tracer listener):
+
+    * ``eret-el-escalation`` — an exception return must target the
+      exception level it was entered from (a tampered saved SPSR is a
+      privilege escalation);
+    * ``eret-elr-tamper`` — an exception return must resume at the PC
+      the matching entry saved (a rewritten frame ELR is a control-flow
+      hijack the paper's Section 8 flags as future work);
+    * ``pauth-counter-monotonic`` — the Section 5.4 failure counter
+      only ever counts up.
+
+    State invariants (checked by :meth:`sweep`):
+
+    * fault-record/counter/trace-event consistency;
+    * the panic threshold and panic policy are what boot configured,
+      and the system cannot sit *past* the threshold un-panicked;
+    * the SCTLR PAuth enable bits stay set while the profile relies on
+      PAC instructions (hardening requirement R2);
+    * the live key bank agrees with the boot-generated kernel keys
+      while executing at EL1;
+    * the live EL1 stack pointer is canonical;
+    * the ``current`` pointer, the task table and the fault manager's
+      task attribution agree.
+    """
+
+    def __init__(self, system, tracer=None):
+        self.system = system
+        self.tracer = tracer
+        faults = system.faults
+        self._threshold0 = faults.threshold
+        self._panic_on_threshold0 = faults.panic_on_threshold
+        self._eret_stack = []
+        self._last_tick = 0
+        self.max_failures_seen = faults.pauth_failures
+        #: Names of invariants this checker has raised (evidence).
+        self.violations = []
+        if tracer is not None:
+            tracer.add_listener(self)
+
+    def detach(self):
+        if self.tracer is not None:
+            self.tracer.remove_listener(self)
+            self.tracer = None
+
+    def _violate(self, invariant, message):
+        self.violations.append(invariant)
+        raise InvariantViolation(invariant, message)
+
+    # -- event invariants (tracer listener) ----------------------------------
+
+    def __call__(self, event):
+        kind = event.kind
+        if kind == "exception_entry":
+            # The emit happens before ELR_EL1 is written, so derive the
+            # architecturally mandated return PC from the live core.
+            regs = self.system.cpu.regs
+            expected = (
+                regs.pc + 4 if event.data.get("exc") == "svc" else regs.pc
+            )
+            self._eret_stack.append(
+                (event.data.get("source_el"), expected)
+            )
+        elif kind == "exception_return":
+            if not self._eret_stack:
+                return
+            source_el, expected = self._eret_stack.pop()
+            target_el = event.data.get("target_el")
+            return_pc = event.data.get("return_pc")
+            if target_el != source_el:
+                self._violate(
+                    "eret-el-escalation",
+                    f"exception entered from EL{source_el} returns to "
+                    f"EL{target_el} (saved SPSR tampered)",
+                )
+            if return_pc != expected:
+                self._violate(
+                    "eret-elr-tamper",
+                    f"exception returns to {return_pc:#x}, entry saved "
+                    f"{expected:#x} (saved ELR tampered)",
+                )
+        elif kind == "panic_threshold_tick":
+            failures = event.data.get("failures", 0)
+            if failures <= self._last_tick:
+                self._violate(
+                    "pauth-counter-monotonic",
+                    f"failure counter ticked {failures} after "
+                    f"{self._last_tick}",
+                )
+            self._last_tick = failures
+            if failures > self.max_failures_seen:
+                self.max_failures_seen = failures
+
+    # -- state invariants (sweep) --------------------------------------------
+
+    def sweep(self):
+        """Cross-check live state; raises on the first violated rule."""
+        system = self.system
+        faults = system.faults
+        cpu = system.cpu
+        profile = system.profile
+
+        pauth_records = sum(1 for r in faults.records if r.pauth_related)
+        if faults.pauth_failures != pauth_records:
+            self._violate(
+                "pauth-counter-vs-records",
+                f"counter says {faults.pauth_failures} PAuth failures, "
+                f"the fault log holds {pauth_records}",
+            )
+        if faults.pauth_failures < self.max_failures_seen:
+            self._violate(
+                "pauth-counter-rollback",
+                f"counter at {faults.pauth_failures}, but "
+                f"{self.max_failures_seen} failures were observed",
+            )
+        if (
+            faults.threshold != self._threshold0
+            or faults.panic_on_threshold != self._panic_on_threshold0
+        ):
+            self._violate(
+                "panic-threshold-tampered",
+                f"threshold/policy {faults.threshold}/"
+                f"{faults.panic_on_threshold}, boot configured "
+                f"{self._threshold0}/{self._panic_on_threshold0}",
+            )
+        if (
+            faults.panic_on_threshold
+            and faults.pauth_failures >= faults.threshold
+        ):
+            self._violate(
+                "panic-threshold-missed",
+                f"{faults.pauth_failures} failures >= threshold "
+                f"{faults.threshold} without a panic",
+            )
+        uses_pac = (
+            profile.protects_backward or profile.forward or profile.dfi
+        )
+        if uses_pac:
+            sctlr = cpu.regs.sctlr_el1
+            if not (
+                sctlr.en_ia and sctlr.en_ib and sctlr.en_da and sctlr.en_db
+            ):
+                self._violate(
+                    "sctlr-pauth-disabled",
+                    "a PAuth enable bit was cleared at run time (R2)",
+                )
+        if cpu.regs.current_el == 1 and system.key_management == "xom":
+            for name in profile.keys_to_switch():
+                live = cpu.regs.keys.get(name).as_pair()
+                boot = system.kernel_keys.get(name).as_pair()
+                if live != boot:
+                    self._violate(
+                        "kernel-key-mismatch",
+                        f"live {name} key differs from the boot-"
+                        f"generated kernel key at EL1",
+                    )
+        sp = cpu.regs.sp_of(1)
+        if sp and system.config.classify(sp) == AddressKind.INVALID:
+            self._violate(
+                "el1-sp-non-canonical",
+                f"kernel stack pointer {sp:#x} is non-canonical",
+            )
+        current = system.tasks.current
+        if current is not None:
+            from repro.kernel.system import CURRENT_PTR
+
+            pointer = system.mmu.read_u64(CURRENT_PTR, 1)
+            if pointer and pointer != current.address:
+                self._violate(
+                    "current-pointer-skew",
+                    f"per-CPU current={pointer:#x}, task table says "
+                    f"{current.address:#x}",
+                )
+            if faults.current_task_id != current.tid:
+                self._violate(
+                    "fault-attribution-skew",
+                    f"fault manager attributes to task "
+                    f"{faults.current_task_id}, current is {current.tid}",
+                )
+        if self.tracer is not None:
+            if self.tracer.count("fault") != len(faults.records):
+                self._violate(
+                    "fault-events-vs-records",
+                    f"{self.tracer.count('fault')} fault events, "
+                    f"{len(faults.records)} fault records",
+                )
+        return True

@@ -1,0 +1,121 @@
+"""Injection-site registry: what can be corrupted, and where it lives.
+
+An :class:`InjectionPoint` names one adversarial state mutation — a PAC
+bit-flip in a signed pointer, a key-register corruption, a tampered
+exception frame — together with the callable that performs it against a
+live :class:`~repro.inject.campaign.CampaignDriver`.  The points are
+*registered by the modules they attack* (``arch/pac.py``,
+``arch/cpu.py``, ``kernel/entry.py``, ``kernel/sched.py``,
+``kernel/fault.py``, ``cfi/canary.py``), so the corruption lives next
+to the mechanism it subverts and stays in sync with it.
+
+This module must stay import-light (stdlib only): the host modules
+import it at the bottom of their own module bodies, and anything
+heavier would create an import cycle through the kernel stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InjectionPoint",
+    "register_point",
+    "all_points",
+    "point_by_name",
+    "ensure_registered",
+]
+
+#: Modules that register injection points at import time.  Importing
+#: them is how :func:`ensure_registered` materialises the registry —
+#: most callers have already pulled them in transitively by booting a
+#: System, but the CLI's ``--list`` must not rely on that.
+_HOST_MODULES = (
+    "repro.arch.pac",
+    "repro.arch.cpu",
+    "repro.kernel.entry",
+    "repro.kernel.sched",
+    "repro.kernel.fault",
+    "repro.cfi.canary",
+)
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One registered corruption site.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier, ``<module>.<corruption>`` by convention.
+    module:
+        Dotted name of the module that registered (and is attacked by)
+        this point.
+    description:
+        One-line human description for the CLI listing.
+    inject:
+        ``inject(driver, rng)`` — performs the corruption *and* drives
+        the victim workload on ``driver``; ``rng`` is a per-trial
+        seeded ``random.Random`` and the only allowed entropy source.
+    requires:
+        Capability tags the booted profile must provide (``"dfi"``,
+        ``"key-switch"``, ``"pac"``); unmet requirements mark the trial
+        skipped rather than escaped.
+    expected:
+        Detection kinds that count as the designed catch for this site.
+    needs_invariants:
+        True when only the :class:`~repro.inject.invariants.\
+InvariantChecker` can see the corruption — with invariants disabled
+        the site is *expected* to escape (and the report says so).
+    """
+
+    name: str
+    module: str
+    description: str
+    inject: object
+    requires: tuple = ()
+    expected: tuple = ("fault", "panic", "invariant")
+    needs_invariants: bool = False
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "module": self.module,
+            "description": self.description,
+            "requires": list(self.requires),
+            "expected": list(self.expected),
+            "needs_invariants": self.needs_invariants,
+        }
+
+
+_REGISTRY = {}
+
+
+def register_point(point):
+    """Register (or idempotently re-register) one injection point."""
+    _REGISTRY[point.name] = point
+    return point
+
+
+def ensure_registered():
+    """Import every host module so its registrations have run."""
+    for name in _HOST_MODULES:
+        importlib.import_module(name)
+
+
+def all_points():
+    """Every registered point, in stable (name) order."""
+    ensure_registered()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def point_by_name(name):
+    ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no injection point {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

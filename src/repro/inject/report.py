@@ -1,0 +1,53 @@
+"""Rendering the detection matrix (text tables for the CLI and docs)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import TextTable
+from repro.inject.points import all_points
+
+__all__ = ["render_matrix", "render_site_listing"]
+
+
+def _clip(text, width=52):
+    text = " ".join(str(text).split())
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def render_matrix(matrix):
+    """The campaign's detection matrix as one printable string."""
+    table = TextTable(
+        f"Injection detection matrix "
+        f"(profile={matrix.profile}, seed={matrix.seed:#x}, "
+        f"invariants={'on' if matrix.invariants else 'off'})",
+        ["site", "trial", "outcome", "detected by", "detail"],
+    )
+    for result in matrix.results:
+        table.add_row(
+            result.site,
+            result.trial,
+            result.outcome,
+            result.detected_by or "-",
+            _clip(result.detail),
+        )
+    summary = (
+        f"{matrix.injected} injected: {matrix.detected} detected, "
+        f"{matrix.escaped} escaped ({matrix.skipped} skipped)"
+    )
+    return table.render() + "\n\n" + summary
+
+
+def render_site_listing():
+    """Every registered injection point, for ``inject --list``."""
+    table = TextTable(
+        "Registered injection points",
+        ["site", "module", "requires", "invariants-only", "description"],
+    )
+    for point in all_points():
+        table.add_row(
+            point.name,
+            point.module,
+            "+".join(point.requires) or "-",
+            "yes" if point.needs_invariants else "no",
+            _clip(point.description, 60),
+        )
+    return table.render()

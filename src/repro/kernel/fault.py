@@ -37,12 +37,18 @@ class TaskKilled(ReproError):
 
 @dataclass
 class FaultRecord:
-    """One logged fault."""
+    """One logged fault.
+
+    ``address`` is ``None`` when the fault carried no faulting address
+    (e.g. an undefined-instruction fault); a genuine fault at address
+    ``0x0`` keeps the integer 0.  The two must stay distinguishable —
+    a NULL-pointer dereference is an address, "no address" is not.
+    """
 
     kind: str
-    address: int
-    el: int
-    pauth_related: bool
+    address: int = None
+    el: int = 1
+    pauth_related: bool = False
     task_id: int = None
 
 
@@ -84,7 +90,7 @@ class FaultManager:
         self.records.append(
             FaultRecord(
                 kind=type(fault).__name__,
-                address=fault.address or 0,
+                address=fault.address,
                 el=cpu.regs.current_el,
                 pauth_related=pauth_related,
                 task_id=self.current_task_id,
@@ -95,7 +101,7 @@ class FaultManager:
                 "fault",
                 cycle=cpu.cycles,
                 fault=type(fault).__name__,
-                address=fault.address or 0,
+                address=fault.address,
                 el=cpu.regs.current_el,
                 pauth=pauth_related,
                 task=self.current_task_id,
@@ -118,8 +124,11 @@ class FaultManager:
                 )
         # Default kernel policy: unconditional SIGKILL of the process
         # whose system call faulted.
+        where = (
+            hex(fault.address) if fault.address is not None else "<no address>"
+        )
         raise TaskKilled(
-            f"{type(fault).__name__} at {fault.address and hex(fault.address)} "
+            f"{type(fault).__name__} at {where} "
             f"(EL{cpu.regs.current_el}) — task killed",
             fault=fault,
         )
@@ -138,10 +147,19 @@ class FaultManager:
         lines = []
         for index, record in enumerate(self.records):
             tag = "PAUTH" if record.pauth_related else "FAULT"
-            task = f" task={record.task_id}" if record.task_id else ""
+            task = (
+                f" task={record.task_id}"
+                if record.task_id is not None
+                else ""
+            )
+            where = (
+                f"{record.address:#x}"
+                if record.address is not None
+                else "<no address>"
+            )
             lines.append(
                 f"[{index:04d}] {tag}: {record.kind} at "
-                f"{record.address:#x} (EL{record.el}){task}"
+                f"{where} (EL{record.el}){task}"
             )
         if self.pauth_failures:
             lines.append(
@@ -153,3 +171,56 @@ class FaultManager:
     def reset(self):
         self.records.clear()
         self.pauth_failures = 0
+
+
+# -- fault-injection sites (repro.inject) -------------------------------------
+#
+# Both sites attack the Section 5.4 brute-force mitigation itself: an
+# attacker who can neuter the failure counter or the panic threshold
+# gets unlimited PAC guesses back.  Neither corruption faults on its
+# own — only the invariant checker's bookkeeping can see them.
+
+
+def _inject_counter_rollback(driver, rng):
+    """Take real PAuth faults, then roll the failure counter back."""
+    driver.provoke_pauth_failures(2)
+    driver.system.faults.pauth_failures = rng.randrange(0, 2)
+
+
+def _inject_threshold_tamper(driver, rng):
+    """Raise the panic threshold (or disable the panic) at run time."""
+    faults = driver.system.faults
+    faults.threshold += rng.randrange(100, 1 << 20)
+    if rng.random() < 0.5:
+        faults.panic_on_threshold = False
+
+
+from repro.inject.points import InjectionPoint, register_point  # noqa: E402
+
+register_point(
+    InjectionPoint(
+        name="fault.counter-rollback",
+        module=__name__,
+        description=(
+            "reset pauth_failures after real authentication faults, "
+            "restoring the attacker's brute-force budget"
+        ),
+        inject=_inject_counter_rollback,
+        requires=("dfi",),
+        expected=("invariant",),
+        needs_invariants=True,
+    )
+)
+register_point(
+    InjectionPoint(
+        name="fault.threshold-tamper",
+        module=__name__,
+        description=(
+            "raise the Section 5.4 panic threshold (or disable the "
+            "panic) out from under the fault manager"
+        ),
+        inject=_inject_threshold_tamper,
+        expected=("invariant",),
+        needs_invariants=True,
+    )
+)

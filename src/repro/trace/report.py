@@ -32,14 +32,15 @@ def summary_table(tracer, title="Trace summary"):
         tracer.counters, key=lambda k: (ordering.get(k, 99), k)
     ):
         stats = tracer.stats.get(kind)
+        # "-" marks an empty histogram; a real min/max of 0 prints 0.
         table.add_row(
             kind,
             _layer(kind),
             tracer.counters[kind],
             stats.total if stats else 0,
-            stats.min or 0 if stats else 0,
+            stats.min if stats and stats.min is not None else "-",
             stats.mean if stats else 0.0,
-            stats.max or 0 if stats else 0,
+            stats.max if stats and stats.max is not None else "-",
         )
     return table
 

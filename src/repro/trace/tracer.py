@@ -82,12 +82,14 @@ class CycleStats:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self):
+        # min/max stay None (JSON null) for empty stats: a histogram
+        # whose true extremum is 0 must not look like an empty one.
         return {
             "count": self.count,
             "total_cycles": self.total,
-            "min": self.min or 0,
+            "min": self.min,
             "mean": round(self.mean, 4),
-            "max": self.max or 0,
+            "max": self.max,
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 

@@ -1,0 +1,174 @@
+"""Tests for the fault-injection subsystem (``repro.inject``)."""
+
+import pytest
+
+from repro.inject import (
+    CampaignDriver,
+    InjectionCampaign,
+    render_matrix,
+    render_site_listing,
+)
+from repro.inject.points import all_points, point_by_name
+
+EXPECTED_SITES = {
+    "canary.linear-overflow",
+    "cpu.key-register-corruption",
+    "cpu.sctlr-enable-clear",
+    "entry.frame-elr-tamper",
+    "entry.frame-spsr-el-escalation",
+    "fault.counter-rollback",
+    "fault.threshold-tamper",
+    "pac.signed-sp-bitflip",
+    "pac.wrong-modifier-resign",
+    "sched.mid-switch-sp-redirect",
+}
+
+
+@pytest.fixture(scope="module")
+def full_matrix():
+    return InjectionCampaign(profile="full", trials=1).run()
+
+
+@pytest.fixture(scope="module")
+def full_matrix_no_invariants():
+    return InjectionCampaign(
+        profile="full", trials=1, invariants=False
+    ).run()
+
+
+class TestRegistry:
+    def test_all_sites_registered(self):
+        assert {p.name for p in all_points()} == EXPECTED_SITES
+
+    def test_points_sorted_and_complete(self):
+        names = [p.name for p in all_points()]
+        assert names == sorted(names)
+
+    def test_point_by_name(self):
+        point = point_by_name("pac.signed-sp-bitflip")
+        assert point.requires == ("dfi",)
+        assert "fault" in point.expected
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(Exception, match="unknown injection site"):
+            InjectionCampaign(sites=["no.such-site"]).selected_points()
+
+    def test_site_listing_renders_every_point(self):
+        listing = render_site_listing()
+        for name in EXPECTED_SITES:
+            assert name in listing
+
+
+class TestFullProfile:
+    def test_zero_escapes(self, full_matrix):
+        assert full_matrix.injected == len(EXPECTED_SITES)
+        assert full_matrix.escaped == 0
+        assert full_matrix.skipped == 0
+        assert full_matrix.detected == full_matrix.injected
+
+    def test_detections_match_declared_expectations(self, full_matrix):
+        for result in full_matrix.results:
+            point = point_by_name(result.site)
+            assert result.outcome == "detected"
+            assert result.detected_by in point.expected, result.site
+
+    def test_render_includes_summary(self, full_matrix):
+        text = render_matrix(full_matrix)
+        assert "10 injected: 10 detected, 0 escaped" in text
+
+    def test_sp_attacks_detected_by_fault(self, full_matrix):
+        by_site = full_matrix.by_site()
+        for site in (
+            "pac.signed-sp-bitflip",
+            "pac.wrong-modifier-resign",
+            "sched.mid-switch-sp-redirect",
+            "cpu.key-register-corruption",
+        ):
+            assert all(r.detected_by == "fault" for r in by_site[site])
+
+    def test_canary_detected_by_panic(self, full_matrix):
+        (result,) = full_matrix.by_site()["canary.linear-overflow"]
+        assert result.detected_by == "panic"
+
+
+class TestInvariantsOff:
+    def test_exactly_invariant_only_sites_escape(
+        self, full_matrix_no_invariants
+    ):
+        escaped = {r.site for r in full_matrix_no_invariants.escapes()}
+        invariant_only = {
+            p.name for p in all_points() if p.needs_invariants
+        }
+        assert escaped == invariant_only
+        assert full_matrix_no_invariants.escaped == len(invariant_only)
+
+
+class TestDeterminism:
+    SITES = [
+        "pac.signed-sp-bitflip",
+        "fault.threshold-tamper",
+        "canary.linear-overflow",
+    ]
+
+    def test_same_seed_same_matrix(self):
+        first = InjectionCampaign(
+            profile="full", seed=1234, trials=2, sites=self.SITES
+        ).run()
+        second = InjectionCampaign(
+            profile="full", seed=1234, trials=2, sites=self.SITES
+        ).run()
+        assert first.to_dict() == second.to_dict()
+
+    def test_different_seed_different_trial_seeds(self):
+        a = InjectionCampaign(profile="full", seed=1, sites=self.SITES)
+        b = InjectionCampaign(profile="full", seed=2, sites=self.SITES)
+        assert a._derived_seed(0, 0) != b._derived_seed(0, 0)
+
+
+class TestUnprotectedProfiles:
+    def test_none_profile_canary_escapes(self):
+        matrix = InjectionCampaign(
+            profile="none", trials=1, sites=["canary.linear-overflow"]
+        ).run()
+        assert matrix.escaped == 1
+
+    def test_dfi_sites_skipped_without_dfi(self):
+        matrix = InjectionCampaign(
+            profile="backward",
+            trials=1,
+            sites=["pac.signed-sp-bitflip", "entry.frame-elr-tamper"],
+        ).run()
+        outcomes = {r.site: r.outcome for r in matrix.results}
+        assert outcomes["pac.signed-sp-bitflip"] == "skipped"
+        assert outcomes["entry.frame-elr-tamper"] == "detected"
+
+
+class TestControl:
+    @pytest.mark.parametrize("profile", ["none", "backward", "full"])
+    def test_control_run_is_clean(self, profile):
+        evidence = InjectionCampaign(
+            profile=profile, trials=1
+        ).run_control()
+        assert evidence["faults"] == 0
+        assert evidence["auth_failures"] == 0
+        assert evidence["syscalls"] >= 1
+
+
+class TestDriver:
+    def test_provoked_failures_are_counted(self):
+        driver = CampaignDriver(profile="full")
+        try:
+            driver.provoke_pauth_failures(2)
+            assert driver.system.faults.pauth_failures == 2
+            evidence = driver.evidence()
+            assert evidence["faults"] == 2
+            assert evidence["threshold_ticks"] == 2
+        finally:
+            driver.close()
+
+    def test_bench_experiment_reproduces(self):
+        from repro.bench import run_injection_matrix
+
+        record = run_injection_matrix(trials=1)
+        assert record.reproduced
+        assert record.tables
