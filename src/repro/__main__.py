@@ -12,7 +12,10 @@ Commands:
   counters, cycle histograms and the instruction mix (``--json`` dumps
   the full trace);
 * ``inject`` — run a seeded fault-injection campaign and print the
-  detection matrix (exit status 1 if any corruption escaped).
+  detection matrix (exit status 1 if any corruption escaped);
+* ``perf`` — measure host-side simulator throughput on the pinned
+  perf-gate workloads, cached vs. cache-disabled (``--check`` gates
+  against a committed baseline, exit status 1 on regression).
 """
 
 from __future__ import annotations
@@ -235,6 +238,34 @@ def _cmd_inject(args):
     return 1 if matrix.escaped else 0
 
 
+def _cmd_perf(args):
+    from repro.bench.perfgate import (
+        compare,
+        load_report,
+        render_report,
+        run_perf,
+        write_report,
+    )
+
+    report = run_perf(
+        iterations=args.iterations, pac_operations=args.pac_operations
+    )
+    print(render_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nreport written to {args.output}")
+    if args.check:
+        baseline = load_report(args.check)
+        failures = compare(report, baseline, tolerance=args.tolerance)
+        if failures:
+            print(f"\nperf gate FAILED against {args.check}:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"\nperf gate passed against {args.check}")
+    return 0
+
+
 def _positive_int(text):
     value = int(text)
     if value < 1:
@@ -322,6 +353,31 @@ def main(argv=None):
         "--list", action="store_true", help="list registered sites and exit"
     )
 
+    perf = sub.add_parser(
+        "perf", help="host-side throughput on the perf-gate workloads"
+    )
+    perf.add_argument("--iterations", type=_positive_int, default=150)
+    perf.add_argument(
+        "--pac-operations",
+        type=_positive_int,
+        default=3000,
+        help="sign/auth pairs in the bare PAC-engine loop",
+    )
+    perf.add_argument(
+        "--output", metavar="FILE", help="write the JSON report"
+    )
+    perf.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="gate against a baseline report (exit 1 on regression)",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25)",
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "demo": _cmd_demo,
@@ -332,6 +388,7 @@ def main(argv=None):
         "boot": _cmd_boot,
         "trace": _cmd_trace,
         "inject": _cmd_inject,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

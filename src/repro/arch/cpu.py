@@ -19,14 +19,19 @@ exception mechanism — that is the mini-kernel's job.
 
 from __future__ import annotations
 
+from repro import hotpath
 from repro.arch.isa import SP
 from repro.arch.pac import PACEngine
-from repro.arch.registers import KEY_REGISTER_NAMES, RegisterFile
+from repro.arch.registers import (
+    KEY_REGISTER_NAMES,
+    RegisterFile,
+    _key_register_target,
+)
 from repro.arch.vmsa import VMSAConfig
 from repro.errors import ReproError, SimFault
 from repro.mem.mmu import MMU
 
-__all__ = ["CPU", "CYCLES_PER_SECOND", "VBAR_OFFSETS"]
+__all__ = ["CPU", "CYCLES_PER_SECOND", "DecodeCacheStats", "VBAR_OFFSETS"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -48,6 +53,24 @@ VBAR_OFFSETS = {
 #: memory (1 LDP + 2 MSRs = 6 cycles) average exactly 9 cycles per key
 #: per switch — the paper's Section 6.1.1 measurement (avg 8.88).
 KEY_WRITE_EXTRA_CYCLES = 0
+
+
+class DecodeCacheStats:
+    """Host-side decode-cache counters (never affect simulated state)."""
+
+    __slots__ = ("hits", "misses", "flushes")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def to_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+        }
 
 
 class CPU:
@@ -102,6 +125,16 @@ class CPU:
         self.timer_period = None
         self._timer_next = None
         self.irqs_delivered = 0
+        #: Host-side decode cache (see repro.hotpath): retired
+        #: instructions dispatch through bound handlers keyed by
+        #: (PC, EL), stamped with the MMU's fetch epoch so any write to
+        #: a code page, mapping change or stage-2 update flushes it.
+        #: Purely host-visible — cycle counts and retired streams are
+        #: identical with the cache off (tests/test_diff_cached.py).
+        self._decode_enabled = hotpath.decode_cache_enabled()
+        self._decode_cache = {}
+        self._decode_stamp = -1
+        self.decode_stats = DecodeCacheStats()
 
     # -- feature queries ----------------------------------------------------
 
@@ -220,17 +253,19 @@ class CPU:
                 self.cycles += KEY_WRITE_EXTRA_CYCLES
                 return
             self.cycles += KEY_WRITE_EXTRA_CYCLES
+            prefix, half = _key_register_target(name)
             if (
                 self.has_banked_keys
                 and self.regs.read_sysreg("APKSSEL_EL1") == 1
             ):
                 # Banked: MSR targets the currently selected bank.
-                prefix = name[2:4].lower()
-                half = "lo" if "Lo" in name else "hi"
-                setattr(
-                    self.regs.alt_keys.get(prefix), half, value & _MASK64
-                )
+                target = self.regs.alt_keys.get(prefix)
+                self.pac.note_key_write(target)
+                setattr(target, half, value & _MASK64)
                 return
+            # Flush MACs cached under the value being replaced — the
+            # key-bank model requires a register write to invalidate.
+            self.pac.note_key_write(self.regs.keys.get(prefix))
         self.regs.write_sysreg(name, value)
 
     def read_sysreg_checked(self, name):
@@ -321,10 +356,39 @@ class CPU:
             return
         pc = self.regs.pc
         try:
-            instruction = self.mmu.fetch(pc, self.regs.current_el)
-            cost = instruction.cost_on(self)
-            self.cycles += cost
-            next_pc = instruction.execute(self)
+            if self._decode_enabled:
+                epoch = self.mmu.fetch_epoch
+                if epoch != self._decode_stamp:
+                    if self._decode_cache:
+                        self._decode_cache.clear()
+                        self.decode_stats.flushes += 1
+                    self._decode_stamp = epoch
+                key = (pc, self.regs.current_el)
+                entry = self._decode_cache.get(key)
+                if entry is None:
+                    instruction = self.mmu.fetch(pc, self.regs.current_el)
+                    # The bound execute method and the cost are both
+                    # cacheable: cost_on depends only on the immutable
+                    # feature set, and instruction objects are never
+                    # mutated in place (code changes go through
+                    # store/erase_instruction, which bump the epoch).
+                    entry = (
+                        instruction,
+                        instruction.execute,
+                        instruction.cost_on(self),
+                    )
+                    self._decode_cache[key] = entry
+                    self.decode_stats.misses += 1
+                else:
+                    self.decode_stats.hits += 1
+                instruction, execute, cost = entry
+                self.cycles += cost
+                next_pc = execute(self)
+            else:
+                instruction = self.mmu.fetch(pc, self.regs.current_el)
+                cost = instruction.cost_on(self)
+                self.cycles += cost
+                next_pc = instruction.execute(self)
         except SimFault as fault:
             if self.fault_hook is not None and self.fault_hook(self, fault):
                 return

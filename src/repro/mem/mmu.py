@@ -11,6 +11,7 @@ stage-2 table filters by physical frame.
 
 from __future__ import annotations
 
+from repro import hotpath
 from repro.arch.vmsa import AddressKind, VMSAConfig
 from repro.errors import PermissionFault, TranslationFault
 from repro.mem.pagetable import Stage1Table, Stage2Table
@@ -19,6 +20,11 @@ from repro.mem.phys import PhysicalMemory
 __all__ = ["MMU", "AddressSpace"]
 
 _MASK64 = (1 << 64) - 1
+
+#: Shift that keeps the stage-2 *replacement* generation strictly above
+#: any realistic sum of per-table mutation counters, so swapping in a
+#: fresh (low-epoch) stage-2 table can never produce an epoch collision.
+_STRUCTURE_SHIFT = 44
 
 
 class AddressSpace:
@@ -42,10 +48,48 @@ class MMU:
     def __init__(self, phys=None, config=None, stage2=None):
         self.config = config or VMSAConfig()
         self.phys = phys or PhysicalMemory(self.config.page_shift)
-        self.stage2 = stage2 or Stage2Table()
+        self._stage2 = stage2 or Stage2Table()
+        self._stage2_generation = 0
         self.address_space = AddressSpace(self.config.page_shift)
         self.page_shift = self.config.page_shift
         self.page_size = 1 << self.page_shift
+        # Host-side translation cache (see repro.hotpath): successful
+        # (page, access, EL) walks memoised until any table mutates.
+        # Faults are never cached, so the faulting paths re-walk and
+        # behave identically with the cache on or off.
+        self._cache_walks = hotpath.translate_cache_enabled()
+        self._walk_cache = {}
+        self._walk_stamp = -1
+
+    # -- epochs -----------------------------------------------------------------
+
+    @property
+    def stage2(self):
+        return self._stage2
+
+    @stage2.setter
+    def stage2(self, table):
+        # The hypervisor replaces the whole table at enable time; a
+        # fresh table restarts its mutation counter, so bump a separate
+        # structure generation that dominates the composite epoch.
+        self._stage2 = table
+        self._stage2_generation += 1
+
+    @property
+    def translation_epoch(self):
+        """Composite generation of everything a translation depends on."""
+        space = self.address_space
+        return (
+            (self._stage2_generation << _STRUCTURE_SHIFT)
+            + space.user.epoch
+            + space.kernel.epoch
+            + self._stage2.epoch
+        )
+
+    @property
+    def fetch_epoch(self):
+        """Generation of everything an instruction fetch depends on."""
+        return self.translation_epoch + self.phys.code_epoch
 
     # -- translation ------------------------------------------------------------
 
@@ -56,6 +100,22 @@ class MMU:
         architectural behaviour.
         """
         va &= _MASK64
+        if self._cache_walks:
+            epoch = self.translation_epoch
+            if epoch != self._walk_stamp:
+                self._walk_cache.clear()
+                self._walk_stamp = epoch
+            key = (va >> self.page_shift, access, el)
+            base = self._walk_cache.get(key, -1)
+            if base >= 0:
+                return base | (va & (self.page_size - 1))
+            pa = self._translate_walk(va, access, el)
+            self._walk_cache[key] = pa & ~(self.page_size - 1)
+            return pa
+        return self._translate_walk(va, access, el)
+
+    def _translate_walk(self, va, access, el):
+        """The full (uncached) two-stage walk."""
         kind = self.config.classify(va)
         if kind == AddressKind.INVALID:
             raise TranslationFault(

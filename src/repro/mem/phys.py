@@ -29,6 +29,12 @@ class PhysicalMemory:
         self._frames = {}
         #: Decoded instructions, keyed by physical address.
         self._instructions = {}
+        #: Monotonic generation counter for code contents: bumped on
+        #: every instruction store/erase and on every data write that
+        #: touches a frame holding decoded instructions.  Host-side
+        #: decode caches stamp their entries with this epoch.
+        self.code_epoch = 0
+        self._code_frames = set()
 
     def _frame(self, frame_number):
         frame = self._frames.get(frame_number)
@@ -60,6 +66,8 @@ class PhysicalMemory:
             self._frame(frame_number)[offset:offset + chunk] = data[
                 offset_in_data:offset_in_data + chunk
             ]
+            if frame_number in self._code_frames:
+                self.code_epoch += 1
             pa += chunk
             offset_in_data += chunk
 
@@ -80,6 +88,8 @@ class PhysicalMemory:
         if pa % 4:
             raise ReproError(f"instruction address {pa:#x} not 4-aligned")
         self._instructions[pa] = instruction
+        self._code_frames.add(pa >> self.page_shift)
+        self.code_epoch += 1
         self.write(pa, instruction.encoding())
 
     def fetch_instruction(self, pa):
@@ -87,7 +97,8 @@ class PhysicalMemory:
         return self._instructions.get(pa)
 
     def erase_instruction(self, pa):
-        self._instructions.pop(pa, None)
+        if self._instructions.pop(pa, None) is not None:
+            self.code_epoch += 1
 
     def instructions_in_range(self, pa, size):
         """Decoded instructions within [pa, pa+size), address-ordered."""

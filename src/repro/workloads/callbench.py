@@ -45,8 +45,13 @@ class CallCost:
         return self.cycles_per_call / (CYCLES_PER_SECOND / 1e9)
 
 
-def _build_and_run(scheme_name, iterations, compat=False, features=("pauth",)):
-    """Cycles per call of an empty frame-carrying function."""
+def _prepare(scheme_name, iterations, compat=False, features=("pauth",)):
+    """Build the benchmark machine; returns (cpu, program).
+
+    Split from :func:`_build_and_run` so the perf-gate harness
+    (:mod:`repro.bench.perfgate`) can time the steady-state run alone,
+    excluding assembly and mapping setup.
+    """
     profile = ProtectionProfile(
         name=scheme_name or "none",
         backward_scheme=scheme_name,
@@ -86,12 +91,23 @@ def _build_and_run(scheme_name, iterations, compat=False, features=("pauth",)):
     cpu.mmu.map_range(
         _STACK_TOP - 0x4000, 0x4000, 0x500, Permissions.kernel_data()
     )
+    return cpu, program
+
+
+def _run_prepared(cpu, program, iterations):
+    """Run the benchmark loop on a prepared machine; cycles per call."""
     _, cycles = cpu.call(
         program.address_of("bench"),
         stack_top=_STACK_TOP,
         max_steps=100 * iterations + 1000,
     )
     return cycles / iterations
+
+
+def _build_and_run(scheme_name, iterations, compat=False, features=("pauth",)):
+    """Cycles per call of an empty frame-carrying function."""
+    cpu, program = _prepare(scheme_name, iterations, compat, features)
+    return _run_prepared(cpu, program, iterations)
 
 
 def measure_call_cost(scheme_name, iterations=200, compat=False):

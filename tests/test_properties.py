@@ -3,11 +3,13 @@
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro import hotpath
 from repro.arch.pac import PACEngine
 from repro.arch.registers import PAuthKey
 from repro.arch.vmsa import VMSAConfig
 from repro.cfi.modifiers import CamouflageScheme, PARTSScheme, SPOnlyScheme
 from repro.elfimage.ptrtable import field_modifier
+from repro.qarma import Qarma64
 
 u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
 u48 = st.integers(min_value=0, max_value=(1 << 48) - 1)
@@ -122,6 +124,108 @@ class TestVmsaSweepProperties:
             tag = 8 if tbi else 0
             overlap = 1 if va_bits > 55 else 0  # bit 55 inside the VA
             assert pac + va_bits + tag + (1 - overlap) == 64
+
+
+class TestQarmaProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(k0=u64, w0=u64, plaintext=u64, tweak=u64)
+    def test_encrypt_decrypt_round_trip(self, k0, w0, plaintext, tweak):
+        cipher = Qarma64(w0=w0, k0=k0)
+        assert cipher.decrypt(cipher.encrypt(plaintext, tweak), tweak) == (
+            plaintext
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k0=u64, w0=u64, plaintext=u64, tweak=u64,
+        bit=st.integers(min_value=0, max_value=63),
+    )
+    def test_key_avalanche(self, k0, w0, plaintext, tweak, bit):
+        # Full-width 64-bit ciphertexts: an accidental collision between
+        # two independent permutations has probability 2^-64.
+        baseline = Qarma64(w0=w0, k0=k0).encrypt(plaintext, tweak)
+        flipped_k0 = Qarma64(w0=w0, k0=k0 ^ (1 << bit))
+        flipped_w0 = Qarma64(w0=w0 ^ (1 << bit), k0=k0)
+        assert flipped_k0.encrypt(plaintext, tweak) != baseline
+        assert flipped_w0.encrypt(plaintext, tweak) != baseline
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k0=u64, w0=u64, plaintext=u64, tweak=u64,
+        bit=st.integers(min_value=0, max_value=63),
+    )
+    def test_tweak_avalanche(self, k0, w0, plaintext, tweak, bit):
+        cipher = Qarma64(w0=w0, k0=k0)
+        assert cipher.encrypt(plaintext, tweak) != cipher.encrypt(
+            plaintext, tweak ^ (1 << bit)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(k0=u64, w0=u64, plaintext=u64, tweak=u64)
+    def test_memoised_encrypt_matches_unmemoised(
+        self, k0, w0, plaintext, tweak
+    ):
+        warm = Qarma64(w0=w0, k0=k0)
+        first = warm.encrypt(plaintext, tweak)
+        second = warm.encrypt(plaintext, tweak)  # memo hit, if enabled
+        with hotpath.disabled_caches():
+            cold = Qarma64(w0=w0, k0=k0).encrypt(plaintext, tweak)
+        assert first == second == cold
+
+
+class TestPacCacheProperties:
+    """The MAC cache is transparent under arbitrary key-write histories."""
+
+    _KEY_REGISTER = {"ia": "APIAKeyLo_EL1", "ib": "APIBKeyLo_EL1"}
+
+    _ops = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("write"), st.sampled_from(["ia", "ib"]), u64
+            ),
+            st.tuples(
+                st.just("pac"),
+                st.sampled_from(["ia", "ib"]),
+                kernel_pointers,
+                u64,
+            ),
+        ),
+        min_size=1,
+        max_size=24,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=_ops)
+    def test_transparent_under_interleaved_key_writes(self, ops):
+        from repro.arch.cpu import CPU
+
+        cpu = CPU(features=frozenset({"pauth"}))
+        engine = cpu.pac
+        for op in ops:
+            if op[0] == "write":
+                _, name, value = op
+                cpu.write_sysreg_checked(self._KEY_REGISTER[name], value)
+            else:
+                _, name, pointer, modifier = op
+                key = cpu.regs.keys.get(name)
+                got = engine.compute_pac(pointer, modifier, key)
+                with hotpath.disabled_caches():
+                    expected = PACEngine().compute_pac(
+                        pointer, modifier, key
+                    )
+                assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(pointer=kernel_pointers, modifier=u64, lo=u64, hi=u64)
+    def test_sign_auth_round_trip_survives_cache_reuse(
+        self, pointer, modifier, lo, hi
+    ):
+        key = PAuthKey(lo=lo, hi=hi)
+        engine = PACEngine()
+        for _ in range(2):  # second pass runs entirely on cached MACs
+            signed = engine.add_pac(pointer, modifier, key)
+            assert engine.auth_pac(signed, modifier, key).ok
+            assert engine.auth_pac(signed, modifier, key).pointer == pointer
 
 
 class TestAssemblerProperties:
