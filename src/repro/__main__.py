@@ -10,7 +10,12 @@ Commands:
 * ``boot`` — boot a kernel under a chosen profile and print its layout;
 * ``trace`` — run a workload under the tracer and report per-event
   counters, cycle histograms and the instruction mix (``--json`` dumps
-  the full trace);
+  the full trace, ``--top N`` ranks by cycles);
+* ``profile`` — function-graph profile of a workload: per-symbol
+  exclusive/inclusive/PAuth cycle attribution, ``--folded`` exports
+  flamegraph input;
+* ``crash`` — force the Section 5.4 PAuth-threshold panic and render
+  the kdump-style crash context (or re-render a saved ``--json`` dump);
 * ``inject`` — run a seeded fault-injection campaign and print the
   detection matrix (exit status 1 if any corruption escaped);
 * ``perf`` — measure host-side simulator throughput on the pinned
@@ -194,10 +199,66 @@ def _cmd_trace(args):
     elif result is not None:
         print(f"{args.workload}: {result:.2f} cycles/iteration")
         print()
-    print(render_summary(tracer))
+    print(render_summary(tracer, top=args.top))
     if args.json:
         tracer.export_json(args.json, event_limit=args.event_limit)
         print(f"\ntrace written to {args.json}")
+    return 0
+
+
+def _cmd_profile(args):
+    from repro.observe import ProfileSession, render_profile
+
+    if args.workload == "syscall":
+        from repro.workloads.lmbench import _measure_one, build_lmbench_system
+
+        system = build_lmbench_system(args.profile)
+        system.map_user_stack()
+        session = ProfileSession(system, capacity=args.capacity)
+        with session as profiler:
+            cycles = _measure_one(system, "null_call", args.iterations)
+        label = f"{args.iterations} null_call syscall(s)"
+    else:  # fig2: the camouflage-instrumented call benchmark
+        from repro.workloads.callbench import _prepare, _run_prepared
+
+        cpu, program = _prepare("camouflage", args.iterations)
+        session = ProfileSession(
+            cpu, programs=[program], capacity=args.capacity
+        )
+        with session as profiler:
+            cycles = _run_prepared(cpu, program, args.iterations)
+        label = f"{args.iterations} instrumented call(s)"
+    print(f"{args.workload}: {label}, {cycles:.2f} cycles/iteration")
+    print()
+    print(render_profile(profiler, top=args.top))
+    retired = session.tracer.stats.get("insn_retire")
+    if retired is not None and profiler.total_cycles != retired.total:
+        print(
+            f"WARNING: attribution lost cycles "
+            f"({profiler.total_cycles} != {retired.total})"
+        )
+        return 1
+    if args.folded:
+        profiler.write_folded(args.folded)
+        print(f"\nfolded stacks written to {args.folded}")
+    if args.json:
+        profiler.write_json(args.json)
+        print(f"profile written to {args.json}")
+    return 0
+
+
+def _cmd_crash(args):
+    from repro.observe import CrashDump, force_pauth_panic, render_crash
+
+    if args.dump:
+        dump = CrashDump.load(args.dump)
+    else:
+        system = force_pauth_panic(profile=args.profile)
+        dump = system.last_crash
+    print(render_crash(dump))
+    if args.json:
+        dump.save(args.json)
+        print(f"\ncrash dump written to {args.json}")
     return 0
 
 
@@ -320,6 +381,60 @@ def main(argv=None):
         help="aggregate instruction counts only (lighter, no per-key "
         "attribution events)",
     )
+    trace.add_argument(
+        "--top",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="rank event kinds and mnemonics by cycles, keep the top N",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="function-graph profile of a workload"
+    )
+    profile.add_argument("workload", choices=("syscall", "fig2"))
+    profile.add_argument("--iterations", type=_positive_int, default=30)
+    profile.add_argument(
+        "--profile",
+        default="full",
+        choices=("none", "backward", "full"),
+        help="protection profile for the syscall workload",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="show only the N hottest symbols",
+    )
+    profile.add_argument("--capacity", type=int, default=262144)
+    profile.add_argument(
+        "--folded",
+        metavar="FILE",
+        help="write Brendan Gregg collapsed stacks (flamegraph input)",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE", help="write the per-symbol profile"
+    )
+
+    crash = sub.add_parser(
+        "crash", help="render a crash dump (or force the Section 5.4 panic)"
+    )
+    crash.add_argument(
+        "dump",
+        nargs="?",
+        default=None,
+        help="saved dump JSON to render (default: force a fresh panic)",
+    )
+    crash.add_argument(
+        "--profile",
+        default="full",
+        choices=("backward", "full"),
+        help="protection profile for the forced panic",
+    )
+    crash.add_argument(
+        "--json", metavar="FILE", help="save the dump as JSON"
+    )
 
     inject = sub.add_parser(
         "inject", help="seeded fault-injection campaign"
@@ -387,6 +502,8 @@ def main(argv=None):
         "survey": _cmd_survey,
         "boot": _cmd_boot,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
+        "crash": _cmd_crash,
         "inject": _cmd_inject,
         "perf": _cmd_perf,
     }[args.command]

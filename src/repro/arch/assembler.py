@@ -16,12 +16,19 @@ __all__ = ["Assembler", "Program"]
 
 
 class Program:
-    """Assembled code: instructions at addresses, plus symbols."""
+    """Assembled code: instructions at addresses, plus symbols.
 
-    def __init__(self, base, instructions, symbols):
+    ``functions`` is the subset of symbol names declared with
+    :meth:`Assembler.fn` — function entry points, as opposed to branch
+    targets inside a function.  Profilers and unwinders bin program
+    counters against this set only.
+    """
+
+    def __init__(self, base, instructions, symbols, functions=()):
         self.base = base
         self.instructions = instructions  # list of (address, Instruction)
         self.symbols = dict(symbols)  # label -> address
+        self.functions = frozenset(functions) & frozenset(self.symbols)
 
     @property
     def size(self):
@@ -68,6 +75,7 @@ class Assembler:
         self.base = base
         self._items = []  # either ("label", name) or ("insn", Instruction)
         self._known_labels = set()
+        self._functions = set()
 
     def label(self, name):
         if name in self._known_labels:
@@ -89,7 +97,14 @@ class Assembler:
         return self
 
     def fn(self, name):
-        """Alias of :meth:`label`, reading better for functions."""
+        """Like :meth:`label`, but marks the symbol as a function entry.
+
+        Function symbols end up in :attr:`Program.functions`, which is
+        what the :mod:`repro.observe` profiler and stack unwinder use to
+        bin program counters; plain labels (loop heads, early-out
+        targets) stay invisible to them.
+        """
+        self._functions.add(name)
         return self.label(name)
 
     # -- assembly ----------------------------------------------------------------
@@ -131,4 +146,4 @@ class Assembler:
             if hasattr(instruction, "label") and hasattr(instruction, "target"):
                 if instruction.target is None:
                     instruction.target = resolve(instruction.label)
-        return Program(self.base, expanded, symbols)
+        return Program(self.base, expanded, symbols, functions=self._functions)

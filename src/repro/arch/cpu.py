@@ -295,6 +295,7 @@ class CPU:
                 exc=kind,
                 source_el=source_el,
                 syndrome=syndrome,
+                pc=self.regs.pc,
                 syscall=self.regs.read(8) if kind == "svc" else None,
             )
         self.regs.elr[1] = return_pc

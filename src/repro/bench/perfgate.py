@@ -138,6 +138,47 @@ def _measure_callbench(iterations):
     }
 
 
+def _measure_lmbench_profiled(iterations):
+    """The lmbench workload with the function-graph profiler attached.
+
+    Pinned alongside the detached run so the gate tracks the *observer
+    cost* of profiling: host throughput may drop (every retired
+    instruction fans out to a listener), but the architectural fields
+    must stay identical to ``lmbench_null_call`` — attaching a profiler
+    never changes a simulated outcome.
+    """
+    from repro.observe import ProfileSession
+    from repro.workloads.lmbench import _measure_one, build_lmbench_system
+
+    system = build_lmbench_system("full")
+    system.map_user_stack()
+    cpu = system.cpu
+    retired_before = cpu.instructions_retired
+    start = time.perf_counter()
+    session = ProfileSession(system, capacity=65536)
+    with session as profiler:
+        cycles_per_iteration = _measure_one(system, "null_call", iterations)
+    elapsed = time.perf_counter() - start
+    instructions = cpu.instructions_retired - retired_before
+    retired = session.tracer.stats.get("insn_retire")
+    return {
+        "iterations": iterations,
+        "wall_seconds": elapsed,
+        "instructions": instructions,
+        "instructions_per_sec": instructions / elapsed,
+        "syscalls_per_sec": iterations / elapsed,
+        "cycles_per_iteration": cycles_per_iteration,
+        "profiled_symbols": len(profiler.exclusive),
+        "conserved": bool(
+            retired is not None and profiler.total_cycles == retired.total
+        ),
+        "cache_stats": {
+            "decode": cpu.decode_stats.to_dict(),
+            "pac": cpu.pac.cache_stats.to_dict(),
+        },
+    }
+
+
 def _measure_pac_engine(operations):
     from repro.arch.pac import PACEngine
     from repro.arch.registers import PAuthKey
@@ -168,6 +209,7 @@ def _measure_pac_engine(operations):
 
 _WORKLOADS = (
     ("lmbench_null_call", _measure_lmbench, "instructions_per_sec"),
+    ("lmbench_profiled", _measure_lmbench_profiled, "instructions_per_sec"),
     ("callbench_camouflage", _measure_callbench, "instructions_per_sec"),
     ("pac_engine", _measure_pac_engine, "pac_ops_per_sec"),
 )
@@ -181,6 +223,7 @@ def run_perf(iterations=150, pac_operations=3000):
     """Measure every pinned workload cached and uncached; full report."""
     sizes = {
         "lmbench_null_call": iterations,
+        "lmbench_profiled": iterations,
         "callbench_camouflage": iterations,
         "pac_engine": pac_operations,
     }
@@ -209,6 +252,29 @@ def run_perf(iterations=150, pac_operations=3000):
             "uncached": uncached,
             "speedup": cached[throughput_field] / uncached[throughput_field],
             "architectural_match": matches,
+        }
+    detached = report["workloads"].get("lmbench_null_call")
+    attached = report["workloads"].get("lmbench_profiled")
+    if detached is not None and attached is not None:
+        # The observer-cost record the gate tracks across revisions:
+        # host slowdown from the attached listener, and the hard
+        # invariant that the simulated cycle count did not move.
+        report["observer"] = {
+            "attached_instructions_per_sec": attached["cached"][
+                "instructions_per_sec"
+            ],
+            "detached_instructions_per_sec": detached["cached"][
+                "instructions_per_sec"
+            ],
+            "host_overhead": (
+                detached["cached"]["instructions_per_sec"]
+                / attached["cached"]["instructions_per_sec"]
+            ),
+            "architectural_match": (
+                attached["cached"]["cycles_per_iteration"]
+                == detached["cached"]["cycles_per_iteration"]
+            ),
+            "conserved": attached["cached"]["conserved"],
         }
     return report
 
@@ -274,6 +340,17 @@ def compare(current, baseline, tolerance=TOLERANCE):
             f"lmbench_null_call: cache speedup {lmbench['speedup']:.2f}x "
             f"under the {LMBENCH_MIN_SPEEDUP:.0f}x acceptance floor"
         )
+    observer = current.get("observer")
+    if observer is not None:
+        if not observer["architectural_match"]:
+            failures.append(
+                "observer: attaching the profiler changed the simulated "
+                "cycles/iteration"
+            )
+        if not observer["conserved"]:
+            failures.append(
+                "observer: per-symbol cycles do not sum to the tracer total"
+            )
     return failures
 
 
@@ -312,6 +389,16 @@ def render_report(report):
                 stats.get("flushes", "-"),
             )
     lines = [table.render(), "", caches.render()]
+    observer = report.get("observer")
+    if observer is not None:
+        lines.append("")
+        lines.append(
+            f"profiler observer cost: {observer['host_overhead']:.2f}x "
+            f"host slowdown, architectural match: "
+            f"{'yes' if observer['architectural_match'] else 'NO'}, "
+            f"cycles conserved: "
+            f"{'yes' if observer['conserved'] else 'NO'}"
+        )
     lines.append("")
     lines.append(
         f"host_score: {report['host_score']:,.0f} calibration loops/sec"

@@ -49,6 +49,8 @@ class Image:
     sections: dict = field(default_factory=dict)
     symbols: dict = field(default_factory=dict)
     pauth_ptrs: list = field(default_factory=list)
+    #: symbol names that are function entry points (``Assembler.fn``)
+    functions: set = field(default_factory=set)
 
     def section(self, name):
         try:
@@ -160,6 +162,7 @@ class ImageBuilder:
         self._register(section)
         for symbol, address in program.symbols.items():
             self._define(symbol, address)
+        self._image.functions.update(getattr(program, "functions", ()))
         return section
 
     def add_data(self, name, builder, writable=True, el0=False):

@@ -192,22 +192,22 @@ def build_vectors_and_entry(asm, profile, syscall_count, syscall_table_address):
     asm.label(VECTORS_SYMBOL)
     # Current-EL synchronous vector: unexpected in this model — halt.
     _pad_to(asm, VBAR_OFFSETS[("sync", 1)])
-    asm.label("el1_sync")
+    asm.fn("el1_sync")
     asm.emit(isa.Hlt())
     _pad_to(asm, VBAR_OFFSETS[("irq", 1)])
-    asm.label("el1_irq")
+    asm.fn("el1_irq")
     asm.emit(isa.Hlt())
     # Lower-EL (user) vectors: syscalls and interrupts.
     _pad_to(asm, VBAR_OFFSETS[("sync", 0)])
-    asm.label("el0_sync_vector")
+    asm.fn("el0_sync_vector")
     asm.emit(isa.B("el0_sync"))
     _pad_to(asm, VBAR_OFFSETS[("irq", 0)])
-    asm.label("el0_irq_vector")
+    asm.fn("el0_irq_vector")
     asm.emit(isa.B("el0_irq"))
     _pad_to(asm, 0x500)
 
     # ---- system call path -------------------------------------------------
-    asm.label("el0_sync")
+    asm.fn("el0_sync")
     asm.emit(*_save_frame())
     asm.emit(isa.Work(ENTRY_HOUSEKEEPING_CYCLES))
     if switch_keys:
@@ -246,7 +246,7 @@ def build_vectors_and_entry(asm, profile, syscall_count, syscall_table_address):
     asm.emit(isa.B("ret_to_user"))
 
     # ---- interrupt path ---------------------------------------------------
-    asm.label("el0_irq")
+    asm.fn("el0_irq")
     asm.emit(*_save_frame())
     asm.emit(isa.Work(IRQ_HOUSEKEEPING_CYCLES))
     if switch_keys:

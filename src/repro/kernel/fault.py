@@ -43,6 +43,10 @@ class FaultRecord:
     (e.g. an undefined-instruction fault); a genuine fault at address
     ``0x0`` keeps the integer 0.  The two must stay distinguishable —
     a NULL-pointer dereference is an address, "no address" is not.
+
+    ``cycle`` is the core's cycle counter when the fault was taken, so
+    dmesg lines order against trace-event timestamps; ``None`` for
+    records logged outside a running core (tests, injections).
     """
 
     kind: str
@@ -50,6 +54,7 @@ class FaultRecord:
     el: int = 1
     pauth_related: bool = False
     task_id: int = None
+    cycle: int = None
 
 
 @dataclass
@@ -72,6 +77,11 @@ class FaultManager:
     #: Nullable tracer; every handled fault emits a ``fault`` event and
     #: PAuth signatures additionally tick ``panic_threshold_tick``.
     tracer: object = None
+    #: Nullable ``hook(cpu, fault, record)`` invoked right before a
+    #: threshold panic is raised — the system installs the crash-dump
+    #: capture (:mod:`repro.observe.crashdump`) here, while the register
+    #: file and the kernel stack still describe the wreck.
+    crash_hook: object = None
 
     def is_pauth_signature(self, fault):
         """Heuristic the kernel applies: non-canonical faulting address."""
@@ -87,15 +97,15 @@ class FaultManager:
         if not isinstance(fault, SimFault):
             return False
         pauth_related = self.is_pauth_signature(fault)
-        self.records.append(
-            FaultRecord(
-                kind=type(fault).__name__,
-                address=fault.address,
-                el=cpu.regs.current_el,
-                pauth_related=pauth_related,
-                task_id=self.current_task_id,
-            )
+        record = FaultRecord(
+            kind=type(fault).__name__,
+            address=fault.address,
+            el=cpu.regs.current_el,
+            pauth_related=pauth_related,
+            task_id=self.current_task_id,
+            cycle=cpu.cycles,
         )
+        self.records.append(record)
         if self.tracer is not None:
             self.tracer.emit(
                 "fault",
@@ -116,6 +126,8 @@ class FaultManager:
                     remaining=max(0, self.threshold - self.pauth_failures),
                 )
             if self.panic_on_threshold and self.pauth_failures >= self.threshold:
+                if self.crash_hook is not None:
+                    self.crash_hook(cpu, fault, record)
                 raise KernelPanic(
                     f"PAuth failure threshold reached "
                     f"({self.pauth_failures}/{self.threshold}): "
@@ -145,7 +157,7 @@ class FaultManager:
         such vulnerable code paths can be fixed" — this is that log.
         """
         lines = []
-        for index, record in enumerate(self.records):
+        for record in self.records:
             tag = "PAUTH" if record.pauth_related else "FAULT"
             task = (
                 f" task={record.task_id}"
@@ -157,13 +169,19 @@ class FaultManager:
                 if record.address is not None
                 else "<no address>"
             )
+            # The timestamp is the emitting fault's cycle count — the
+            # same clock trace events carry, so dmesg interleaves with
+            # trace output in order (printk-style "[ time]" prefix).
+            stamp = (
+                f"{record.cycle:12d}" if record.cycle is not None else "?" * 12
+            )
             lines.append(
-                f"[{index:04d}] {tag}: {record.kind} at "
+                f"[{stamp}] {tag}: {record.kind} at "
                 f"{where} (EL{record.el}){task}"
             )
         if self.pauth_failures:
             lines.append(
-                f"[----] pauth failures: {self.pauth_failures}/"
+                f"[{'-' * 12}] pauth failures: {self.pauth_failures}/"
                 f"{self.threshold} before panic"
             )
         return "\n".join(lines)

@@ -130,6 +130,8 @@ class Scheduler:
                 cost=cpu.cycles - start_cycles,
                 prev=prev.tid,
                 next=next_task.tid,
+                prev_name=prev.name,
+                next_name=next_task.name,
             )
         system.tasks.set_current(next_task)
         # Keep fault attribution in step with the switch: set_current

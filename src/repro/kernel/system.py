@@ -63,7 +63,7 @@ JIFFIES = layout.KERNEL_PERCPU_BASE + 0x20
 SYSCALL_TABLE = layout.KERNEL_PERCPU_BASE + 0x1000
 
 #: Default simulated drivers registered with the VFS.
-DEFAULT_DRIVERS = ("ext4", "sockfs")
+DEFAULT_DRIVERS = ("ext4", "sockfs", "tracefs")
 
 
 @dataclass
@@ -146,6 +146,16 @@ class System:
         #: tracing is off, which must stay the zero-cost default.
         self.tracer = None
         self._entry_tracepoints = None
+        #: Most recent Section 5.4 crash dump (set by the fault
+        #: manager's crash hook on a threshold panic) and, should the
+        #: capture itself fail, the error that prevented it.
+        self.last_crash = None
+        self.last_crash_error = None
+        # The tracefs/procfs analogue: created pre-boot because the
+        # driver's read leaf closes over its host_read; bound post-boot.
+        from repro.observe.tracefs import TracefsRegistry
+
+        self.tracefs = TracefsRegistry()
 
         self._stack_stride = stack_stride
         self._fault_threshold = fault_threshold
@@ -236,7 +246,12 @@ class System:
         build_irq_handler(asm, compiler, irq_dispatch=self._dispatch_irq)
         vfs = VfsBuilder(compiler, self.registry)
         for driver in self.drivers:
-            vfs.emit_driver(asm, driver)
+            if driver == "tracefs":
+                # The observability filesystem: same sealed fops table
+                # and authenticated dispatch, host-rendered content.
+                vfs.emit_driver(asm, driver, read_host=self.tracefs.host_read)
+            else:
+                vfs.emit_driver(asm, driver)
         vfs.emit_accessors(asm)
         vfs.emit_dispatchers(asm)
         WorkqueueBuilder(compiler, self.registry).emit(asm)
@@ -331,6 +346,7 @@ class System:
         self.faults = FaultManager(config=self.config)
         if self._fault_threshold is not None:
             self.faults.threshold = self._fault_threshold
+        self.faults.crash_hook = self._capture_crash
         self.cpu.fault_hook = self.faults
         self.cpu.regs.write_sysreg("VBAR_EL1", image.address_of(VECTORS_SYMBOL))
         if switch_keys:
@@ -344,6 +360,21 @@ class System:
 
         init = self.spawn_process("init")
         self.set_current(init)
+        self.tracefs.bind(self)
+
+    def _capture_crash(self, cpu, fault, record):
+        """Fault-manager crash hook: snapshot the wreck pre-panic.
+
+        A capture failure must never mask the panic itself, so it is
+        recorded instead of raised.
+        """
+        from repro.observe.crashdump import CrashDump
+
+        try:
+            self.last_crash = CrashDump.capture(self, fault=fault,
+                                                record=record)
+        except Exception as error:  # pragma: no cover - defensive
+            self.last_crash_error = error
 
     # -- runtime services -----------------------------------------------------------
 

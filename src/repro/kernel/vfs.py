@@ -89,16 +89,31 @@ class VfsBuilder:
         self.file_type = registry.type("file")
         self.accessors = AccessorGenerator(compiler.profile)
 
-    def emit_driver(self, asm, driver, read_work=6, write_work=8):
+    def emit_driver(self, asm, driver, read_work=6, write_work=8,
+                    read_host=None):
         """One driver's leaf read/write implementations.
 
         The bodies burn a configurable number of cycles (standing in
         for the copy loop) and return a plausible byte count in X0.
+
+        ``read_host`` turns the read body into a host-backed file: after
+        the copy-loop cost, a :class:`~repro.arch.isa.HostCall` invokes
+        ``read_host(cpu)`` with the dispatched file object still in X0
+        and the user buffer in X1; the host renders the content, copies
+        it into the buffer, and leaves the byte count in X0 (the tracefs
+        / procfs analogue uses this).
         """
+        if read_host is not None:
+            read_body = [
+                isa.Work(read_work),
+                isa.HostCall(read_host, f"{driver}-read"),
+            ]
+        else:
+            read_body = [isa.Work(read_work), isa.Movz(0, 4096, 0)]
         self.compiler.function(
             asm,
             f"{driver}_read",
-            [isa.Work(read_work), isa.Movz(0, 4096, 0)],
+            read_body,
             leaf=True,
         )
         self.compiler.function(

@@ -1,0 +1,45 @@
+"""repro.observe: profiling, flamegraphs and crash introspection.
+
+The observability layer on top of :mod:`repro.trace`:
+
+* :class:`Profiler` / :class:`ProfileSession` — function-graph cycle
+  attribution (exclusive/inclusive/PAuth per symbol) and folded-stack
+  flamegraph export;
+* :class:`SymbolTable` — function-granular PC binning built from the
+  assembler's function symbols;
+* :class:`CrashDump` / :func:`unwind` / :func:`force_pauth_panic` —
+  kdump-style capture with an authenticated stack unwind on the
+  Section 5.4 panic path;
+* :class:`TracefsRegistry` / :func:`mount_tracefs` — the in-guest
+  tracefs/procfs analogue served through the real VFS dispatch path;
+* :func:`render_crash` / :func:`render_profile` — terminal rendering.
+"""
+
+from repro.observe.crashdump import CrashDump, force_pauth_panic, unwind
+from repro.observe.profiler import (
+    CALL_MNEMONICS,
+    RET_MNEMONICS,
+    Profiler,
+    ProfileSession,
+)
+from repro.observe.render import render_crash, render_profile
+from repro.observe.symbols import HOST_SYMBOL, LANDING_SYMBOL, Symbol, SymbolTable
+from repro.observe.tracefs import TracefsRegistry, mount_tracefs
+
+__all__ = [
+    "CALL_MNEMONICS",
+    "RET_MNEMONICS",
+    "CrashDump",
+    "HOST_SYMBOL",
+    "LANDING_SYMBOL",
+    "Profiler",
+    "ProfileSession",
+    "Symbol",
+    "SymbolTable",
+    "TracefsRegistry",
+    "force_pauth_panic",
+    "mount_tracefs",
+    "render_crash",
+    "render_profile",
+    "unwind",
+]

@@ -22,15 +22,28 @@ def _layer(kind):
     return "other"
 
 
-def summary_table(tracer, title="Trace summary"):
-    """Per-event-kind counters and cycle statistics as a TextTable."""
+def summary_table(tracer, title="Trace summary", top=None):
+    """Per-event-kind counters and cycle statistics as a TextTable.
+
+    ``top`` switches from the canonical event ordering to a
+    cycles-consumed ranking and keeps only the ``top`` hottest kinds.
+    """
     table = TextTable(
         title, ["event", "layer", "count", "cycles", "min", "avg", "max"]
     )
     ordering = {kind: index for index, kind in enumerate(ev.ALL_EVENTS)}
-    for kind in sorted(
+    kinds = sorted(
         tracer.counters, key=lambda k: (ordering.get(k, 99), k)
-    ):
+    )
+    if top is not None:
+
+        def _cycles(kind):
+            stats = tracer.stats.get(kind)
+            return stats.total if stats else 0
+
+        kinds = sorted(kinds, key=lambda k: (-_cycles(k), k))[:top]
+        table.title = f"{title} (top {top} by cycles)"
+    for kind in kinds:
         stats = tracer.stats.get(kind)
         # "-" marks an empty histogram; a real min/max of 0 prints 0.
         table.add_row(
@@ -56,11 +69,18 @@ def instruction_mix_table(tracer, title="Instruction mix", top=12):
     return table
 
 
-def render_summary(tracer):
-    """Both tables plus the drop note, as one printable string."""
-    parts = [summary_table(tracer).render()]
+def render_summary(tracer, top=None):
+    """Both tables plus the drop note, as one printable string.
+
+    ``top`` ranks both tables by cycles and truncates them to N rows.
+    """
+    parts = [summary_table(tracer, top=top).render()]
     if tracer.insn_mix:
-        parts.append(instruction_mix_table(tracer).render())
+        parts.append(
+            instruction_mix_table(
+                tracer, top=top if top is not None else 12
+            ).render()
+        )
     if tracer.dropped:
         parts.append(
             f"(ring buffer wrapped: {tracer.dropped} of "

@@ -178,11 +178,15 @@ class TestRunPerfSmoke:
     def test_small_run_matches_architecturally(self):
         report = run_perf(iterations=12, pac_operations=200)
         assert set(report["workloads"]) == {
-            "lmbench_null_call", "callbench_camouflage", "pac_engine"
+            "lmbench_null_call", "lmbench_profiled",
+            "callbench_camouflage", "pac_engine",
         }
         for entry in report["workloads"].values():
             assert entry["architectural_match"]
             assert entry["cached"]["wall_seconds"] > 0
+        # The profiler changes host throughput, never simulated state.
+        assert report["observer"]["architectural_match"]
+        assert report["observer"]["conserved"]
         # A tiny run proves invisibility, not throughput; the committed
         # baseline (full-size, CI-gated) carries the >=2x criterion, so
         # only the absolute-floor check may trip against itself here.
