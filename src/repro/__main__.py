@@ -52,6 +52,89 @@ def _cmd_demo(_args):
     return 0
 
 
+def _example_module_images(system):
+    """(name, image) pairs of every example module, built against the
+    running system's profile.  The driver example is imported by path
+    (it lives in ``examples/``, not in the package); the codegen module
+    comes straight from the deployability pipeline."""
+    import importlib.util
+    import os
+
+    images = []
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "examples",
+        "driver_module.py",
+    )
+    if os.path.exists(path):
+        spec = importlib.util.spec_from_file_location("driver_module", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        images.append(("examples/driver_module", module.build_driver_module(system)))
+    from repro.analysis import generate_linux_like_corpus
+    from repro.analysis.codegen import generate_protected_module
+
+    generated = generate_protected_module(
+        system, generate_linux_like_corpus(), max_types=4
+    )
+    images.append(("codegen-accessors", generated.image))
+    return images
+
+
+def _cmd_verify(args):
+    import json
+
+    from repro.analysis.verifier import verify_image
+    from repro.kernel.system import SYSCALL_TABLE, System
+
+    system = System(profile=args.profile)
+    kernel = system.kernel_image
+    sealed = [
+        (s.base, s.base + s.size)
+        for s in kernel.sections.values()
+        if not s.permissions.w_el1
+    ]
+    sealed.append((SYSCALL_TABLE, SYSCALL_TABLE + 0x1000))
+    reports = [
+        verify_image(kernel, profile=system.profile, sealed_ranges=sealed)
+    ]
+    for name, image in _example_module_images(system):
+        reports.append(
+            verify_image(
+                image,
+                profile=system.profile,
+                sealed_ranges=system.modules._sealed_ranges(image),
+                module=True,
+                name=name,
+            )
+        )
+    ok = all(r.ok for r in reports)
+    strict_ok = all(r.clean for r in reports)
+    failed = not ok or (args.strict and not strict_ok)
+    if args.json is not None:
+        payload = json.dumps(
+            {
+                "profile": system.profile.name,
+                "strict": bool(args.strict),
+                "ok": ok,
+                "clean": strict_ok,
+                "reports": [r.to_dict() for r in reports],
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    if args.json is None or args.json != "-":
+        for report in reports:
+            print(report.summary())
+        verdict = "FAILED" if failed else "OK"
+        print(f"verify: {verdict} ({len(reports)} image(s))")
+    return 1 if failed else 0
+
+
 def _cmd_figures(args):
     from repro.bench import run_fig2, run_fig3, run_fig4
 
@@ -86,6 +169,7 @@ def _cmd_experiments(_args):
         run_fig3,
         run_fig4,
         run_frame_mac_ablation,
+        run_gadget_census,
         run_hardened_abi,
         run_injection_matrix,
         run_irq_overhead,
@@ -115,6 +199,7 @@ def _cmd_experiments(_args):
         run_hardened_abi,
         run_canary_ablation,
         run_injection_matrix,
+        run_gadget_census,
     )
     failures = 0
     for runner in runners:
@@ -345,6 +430,30 @@ def main(argv=None):
     figures.add_argument("--iterations", type=int, default=20)
     sub.add_parser("attacks", help="run the security matrix")
     sub.add_parser("experiments", help="run every experiment")
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify the kernel image and example modules "
+        "against the CFI contract",
+    )
+    verify.add_argument(
+        "--profile",
+        default="full",
+        help="protection profile to build and verify (default full)",
+    )
+    verify.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the report as JSON (to PATH, or stdout if omitted)",
+    )
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (CI gate: the stock kernel must be "
+        "completely clean)",
+    )
     sub.add_parser("survey", help="the Section 5.3 survey")
     boot = sub.add_parser("boot", help="boot a kernel and show its layout")
     boot.add_argument(
@@ -499,6 +608,7 @@ def main(argv=None):
         "figures": _cmd_figures,
         "attacks": _cmd_attacks,
         "experiments": _cmd_experiments,
+        "verify": _cmd_verify,
         "survey": _cmd_survey,
         "boot": _cmd_boot,
         "trace": _cmd_trace,

@@ -1,6 +1,8 @@
-"""Static analysis: source survey, semantic patch, binary key scan."""
+"""Static analysis: source survey, semantic patch, binary key scan,
+CFG recovery, whole-image CFI verification, gadget census."""
 
 from repro.analysis.binscan import ScanReport, Violation, scan_image, scan_instructions
+from repro.analysis.cfg import BasicBlock, FunctionCFG, ImageCFG, recover_cfg
 from repro.analysis.corpus import (
     PAPER_MEMBER_COUNT,
     PAPER_MULTI_COUNT,
@@ -14,14 +16,26 @@ from repro.analysis.csource import (
     MemberKind,
     SourceCorpus,
 )
+from repro.analysis.gadgets import Gadget, GadgetCensus, census
 from repro.analysis.semanticpatch import PatchResult, SemanticPatch
 from repro.analysis.survey import SurveyReport, survey_function_pointers
+from repro.analysis.verifier import Finding, VerifyReport, verify_image
 
 __all__ = [
     "ScanReport",
     "Violation",
     "scan_image",
     "scan_instructions",
+    "BasicBlock",
+    "FunctionCFG",
+    "ImageCFG",
+    "recover_cfg",
+    "Finding",
+    "VerifyReport",
+    "verify_image",
+    "Gadget",
+    "GadgetCensus",
+    "census",
     "generate_linux_like_corpus",
     "PAPER_MEMBER_COUNT",
     "PAPER_TYPE_COUNT",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.isa import Mrs, Msr
+from repro.arch.isa import Mrs, Msr, is_strip
 from repro.arch.registers import KEY_REGISTER_NAMES
 
 __all__ = ["Violation", "ScanReport", "scan_instructions", "scan_image"]
@@ -57,7 +57,9 @@ class ScanReport:
         return "\n".join(lines)
 
 
-def scan_instructions(pairs, allow_key_writes=False, allowed_ranges=()):
+def scan_instructions(
+    pairs, allow_key_writes=False, allowed_ranges=(), forbid_strip=False
+):
     """Scan (address, instruction) pairs for key-safety violations.
 
     Parameters
@@ -70,6 +72,11 @@ def scan_instructions(pairs, allow_key_writes=False, allowed_ranges=()):
     allowed_ranges:
         (start, end) address ranges exempt from the key-write check —
         the whitelisted restore stub.
+    forbid_strip:
+        Also reject XPACI/XPACD.  A reachable strip instruction removes
+        a PAC *without* the key (Section 6.2.2), so loadable modules —
+        which have no debugging business with PACs — must not carry
+        one.
     """
     violations = []
     scanned = 0
@@ -79,6 +86,15 @@ def scan_instructions(pairs, allow_key_writes=False, allowed_ranges=()):
 
     for address, instruction in pairs:
         scanned += 1
+        if forbid_strip and is_strip(instruction):
+            violations.append(
+                Violation(
+                    address=address,
+                    mnemonic=instruction.mnemonic,
+                    register=f"x{instruction.rd}",
+                    reason="strips a PAC without the key (§6.2.2)",
+                )
+            )
         if isinstance(instruction, Mrs):
             if instruction.sysreg in _KEY_REGISTERS:
                 violations.append(
@@ -113,7 +129,9 @@ def scan_instructions(pairs, allow_key_writes=False, allowed_ranges=()):
     return ScanReport(violations=violations, scanned=scanned)
 
 
-def scan_image(image, allow_key_writes=False, allowed_symbols=()):
+def scan_image(
+    image, allow_key_writes=False, allowed_symbols=(), forbid_strip=False
+):
     """Scan every text section of an image.
 
     ``allowed_symbols`` names functions whose key writes are sanctioned
@@ -134,4 +152,5 @@ def scan_image(image, allow_key_writes=False, allowed_symbols=()):
         image.text_instructions(),
         allow_key_writes=allow_key_writes,
         allowed_ranges=tuple(ranges),
+        forbid_strip=forbid_strip,
     )

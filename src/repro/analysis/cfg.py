@@ -1,0 +1,265 @@
+"""Control-flow graph recovery over assembled images (paper §4.1, §6.2.2).
+
+The kernel build already knows where its functions start
+(:attr:`~repro.arch.assembler.Program.functions`, threaded through to
+:attr:`~repro.elfimage.image.Image.functions`), so CFG recovery does
+not need heuristics: each function's extent runs from its entry symbol
+to the next function symbol in the same text section, basic blocks
+split at branches and at branch targets, and intraprocedural edges
+follow directly from :func:`repro.arch.isa.branch_kind`.
+
+The resulting :class:`FunctionCFG` objects are what the CFI verifier
+(:mod:`repro.analysis.verifier`) runs its dataflow rules over; they are
+also useful on their own (``blocks``, ``edges``, reachability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import branch_kind, branch_target
+from repro.errors import ReproError
+
+__all__ = ["BasicBlock", "FunctionCFG", "ImageCFG", "recover_cfg"]
+
+#: Terminator kinds that end a basic block *and* leave the function.
+_EXIT_KINDS = frozenset(
+    {"ret", "indirect-jump", "exception-return", "halt"}
+)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``successors`` holds start addresses of intraprocedural successor
+    blocks.  ``calls`` records direct call targets (interprocedural
+    edges are kept out of ``successors`` so dataflow stays
+    per-function).  ``exits`` is True when some path leaves the
+    function at this block (return, indirect jump, tail jump out of
+    the function's extent, or fall-through past its end).
+    """
+
+    start: int
+    instructions: list = field(default_factory=list)
+    successors: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    exits: bool = False
+
+    @property
+    def end(self):
+        """Address one past the last instruction."""
+        if not self.instructions:
+            return self.start
+        return self.instructions[-1][0] + 4
+
+    @property
+    def terminator(self):
+        """(address, instruction) of the last instruction, or None."""
+        return self.instructions[-1] if self.instructions else None
+
+
+@dataclass
+class FunctionCFG:
+    """Basic blocks and edges of one function."""
+
+    name: str
+    entry: int
+    blocks: dict = field(default_factory=dict)  # start address -> BasicBlock
+
+    @property
+    def instruction_count(self):
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+    def block_at(self, address):
+        """The block containing ``address`` (not just block starts)."""
+        for block in self.blocks.values():
+            if block.start <= address < block.end:
+                return block
+        raise ReproError(
+            f"{self.name}: no block contains {address:#x}"
+        )
+
+    def instructions(self):
+        """All (address, instruction) pairs in address order."""
+        out = []
+        for start in sorted(self.blocks):
+            out.extend(self.blocks[start].instructions)
+        return out
+
+    def reachable_blocks(self):
+        """Block start addresses reachable from the entry."""
+        seen = set()
+        stack = [self.entry]
+        while stack:
+            address = stack.pop()
+            if address in seen or address not in self.blocks:
+                continue
+            seen.add(address)
+            stack.extend(self.blocks[address].successors)
+        return seen
+
+
+@dataclass
+class ImageCFG:
+    """Per-function CFGs of a whole image (or a single program)."""
+
+    name: str
+    functions: dict = field(default_factory=dict)  # name -> FunctionCFG
+
+    @property
+    def instruction_count(self):
+        return sum(f.instruction_count for f in self.functions.values())
+
+    def function(self, name):
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise ReproError(f"{self.name}: no function {name!r}") from None
+
+    def function_containing(self, address):
+        """The FunctionCFG whose extent covers ``address``, or None."""
+        for cfg in self.functions.values():
+            for block in cfg.blocks.values():
+                if block.start <= address < block.end:
+                    return cfg
+        return None
+
+
+def _function_extents(instructions, symbols, functions):
+    """Partition an instruction stream into per-function slices.
+
+    Functions run from their entry to the next function entry in the
+    same stream; instructions before the first function symbol (there
+    are none in practice) are dropped.
+    """
+    if not instructions:
+        return []
+    addresses = sorted(
+        (symbols[name], name) for name in functions if name in symbols
+    )
+    out = []
+    stream_end = instructions[-1][0] + 4
+    for index, (start, name) in enumerate(addresses):
+        end = (
+            addresses[index + 1][0]
+            if index + 1 < len(addresses)
+            else stream_end
+        )
+        body = [pair for pair in instructions if start <= pair[0] < end]
+        if body:
+            out.append((name, start, end, body))
+    return out
+
+
+def _build_function_cfg(name, entry, end, body):
+    """Split one function's instructions into blocks and wire edges."""
+    by_address = dict(body)
+    addresses = [address for address, _ in body]
+    address_set = set(addresses)
+
+    # Pass 1: leaders — the entry, every in-range branch target, and
+    # every instruction following a control transfer.
+    leaders = {entry}
+    for address, instruction in body:
+        kind = branch_kind(instruction)
+        if kind is None:
+            continue
+        target = branch_target(instruction)
+        if kind in ("jump", "cond") and target is not None:
+            if entry <= target < end and target in address_set:
+                leaders.add(target)
+        following = address + 4
+        if following in address_set:
+            leaders.add(following)
+
+    # Pass 2: blocks.
+    ordered = sorted(leaders)
+    cfg = FunctionCFG(name=name, entry=entry)
+    for index, start in enumerate(ordered):
+        stop = ordered[index + 1] if index + 1 < len(ordered) else end
+        block = BasicBlock(start=start)
+        address = start
+        while address < stop and address in by_address:
+            block.instructions.append((address, by_address[address]))
+            address += 4
+        if block.instructions:
+            cfg.blocks[start] = block
+
+    # Pass 3: edges.
+    for block in cfg.blocks.values():
+        address, instruction = block.terminator
+        kind = branch_kind(instruction)
+        target = branch_target(instruction)
+        fallthrough = address + 4
+
+        def in_function(candidate):
+            return (
+                candidate is not None
+                and entry <= candidate < end
+                and candidate in cfg.blocks
+            )
+
+        if kind in _EXIT_KINDS:
+            block.exits = True
+        elif kind == "jump":
+            if in_function(target):
+                block.successors.append(target)
+            else:
+                block.exits = True  # tail jump out of the function
+        elif kind == "cond":
+            if in_function(target):
+                block.successors.append(target)
+            else:
+                block.exits = True
+            if in_function(fallthrough):
+                block.successors.append(fallthrough)
+            else:
+                block.exits = True
+        else:
+            # Straight-line end, direct/indirect call, or a synchronous
+            # exception: execution continues at the next instruction.
+            if kind == "call" and target is not None:
+                block.calls.append(target)
+            elif kind == "indirect-call":
+                block.calls.append(None)
+            if in_function(fallthrough):
+                block.successors.append(fallthrough)
+            else:
+                block.exits = True  # falls off the function's extent
+    return cfg
+
+
+def recover_cfg(target, name=None):
+    """Build an :class:`ImageCFG` from an Image or a Program.
+
+    Accepts anything with ``instructions``/``symbols``/``functions``
+    (a :class:`~repro.arch.assembler.Program`) or with text sections
+    carrying such programs (an :class:`~repro.elfimage.image.Image`).
+    """
+    sections = []
+    if hasattr(target, "sections"):  # Image
+        label = name or target.name
+        for section in target.sections.values():
+            if section.program is not None:
+                sections.append(section.program)
+    elif hasattr(target, "instructions"):  # Program
+        label = name or "program"
+        sections.append(target)
+    else:
+        raise ReproError(f"cannot recover a CFG from {target!r}")
+
+    image_cfg = ImageCFG(name=label)
+    for program in sections:
+        functions = getattr(program, "functions", None)
+        if not functions:
+            continue
+        for fn_name, entry, end, body in _function_extents(
+            program.instructions, program.symbols, functions
+        ):
+            if fn_name in image_cfg.functions:
+                raise ReproError(f"duplicate function {fn_name!r}")
+            image_cfg.functions[fn_name] = _build_function_cfg(
+                fn_name, entry, end, body
+            )
+    return image_cfg

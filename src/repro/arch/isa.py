@@ -38,6 +38,7 @@ __all__ = [
     "Pac1716", "Aut1716", "PacSp", "AutSp",
     "RetA", "BlrA", "BrA",
     "Work",
+    "branch_kind", "branch_target", "is_sign", "is_auth", "is_strip",
 ]
 
 #: Stack-pointer operand sentinel (encoding 31 is context-dependent on
@@ -1250,3 +1251,82 @@ class BrA(BlrA):
         return cpu.pac_auth(
             self.key, cpu.regs.read(self.rn), cpu.read_operand(self.rm)
         )
+
+
+# ---------------------------------------------------------------------------
+# static classification helpers (CFG recovery, verifier, gadget census)
+# ---------------------------------------------------------------------------
+
+#: Control-transfer categories produced by :func:`branch_kind`.
+#:
+#: ``jump``            unconditional PC-relative branch (B)
+#: ``cond``            conditional branch (B.cond/CBZ/CBNZ): target + fall-through
+#: ``call``            direct call (BL): records LR, falls through on return
+#: ``indirect-call``   BLR / BLRA*
+#: ``indirect-jump``   BR / BRA*
+#: ``ret``             RET / RETA*
+#: ``exception``       SVC/HVC (synchronous exception, falls through on ERET)
+#: ``exception-return``  ERET
+#: ``halt``            HLT (simulation stop)
+_BRANCH_KINDS = (
+    (B, "jump"),
+    ((BCond, Cbz, Cbnz), "cond"),
+    (Bl, "call"),
+    ((Blr, BlrA), "indirect-call"),
+    ((Br, BrA), "indirect-jump"),
+    ((Ret, RetA), "ret"),
+    ((Svc, Hvc), "exception"),
+    (Eret, "exception-return"),
+    (Hlt, "halt"),
+)
+
+
+def branch_kind(instruction):
+    """Classify a control-transfer instruction; None for straight-line.
+
+    Order matters: CBZ/CBNZ subclass the label-branch base and BLRA*/
+    BRA* share a base class, so the table is checked most-specific
+    first.
+    """
+    for classes, kind in _BRANCH_KINDS:
+        if isinstance(instruction, classes):
+            return kind
+    return None
+
+
+def branch_target(instruction):
+    """Static target address of a direct branch, or None.
+
+    Only meaningful after assembly (label resolution); indirect
+    branches and returns have no static target by definition.
+    """
+    if isinstance(instruction, _LabelBranch):
+        return instruction.target
+    return None
+
+
+def is_sign(instruction):
+    """True for instructions that *add* a PAC (PAC*, PACGA included)."""
+    return isinstance(instruction, (Pac, PacSp, Pac1716, PacGa)) and not isinstance(
+        instruction, (Aut, AutSp, Aut1716)
+    )
+
+
+def is_auth(instruction):
+    """True for instructions that *check* a PAC.
+
+    The combined branch forms (RETA*, BLRA*, BRA*) authenticate as part
+    of the transfer and count too — a gadget window containing any of
+    these is dead to an attacker without the key.
+    """
+    return isinstance(instruction, (Aut, AutSp, Aut1716, RetA, BlrA, BrA))
+
+
+def is_strip(instruction):
+    """True for XPACI/XPACD — removes a PAC *without* the key.
+
+    A reachable strip instruction is a gadget that defeats pointer
+    authentication wholesale (paper Section 6.2.2), which is why
+    loadable modules must not carry one.
+    """
+    return isinstance(instruction, Xpac)

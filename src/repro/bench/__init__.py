@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     run_fig2,
     run_fig3,
     run_fig4,
+    run_gadget_census,
     run_key_switch,
     run_replay_matrix,
     run_security_matrix,
@@ -42,6 +43,7 @@ __all__ = [
     "run_fig2",
     "run_fig3",
     "run_fig4",
+    "run_gadget_census",
     "run_key_switch",
     "run_survey",
     "run_security_matrix",

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 from repro.arch import isa
 from repro.arch.isa import SP
-from repro.arch.registers import FP, IP1, LR
+from repro.arch.registers import FP, LR
 from repro.cfi.keys import KeyRole
+from repro.cfi.modifiers import scheme_edge
 from repro.errors import ReproError
 
 __all__ = ["Compiler", "frame_push", "frame_pop"]
@@ -33,11 +34,13 @@ def frame_push(scheme=None, key="ib", function_label=None, compat=False):
     """Prologue macro: optionally sign LR, then push the frame record.
 
     Mirrors the paper's ``frame_push`` assembler macro (Section 5.2).
+    The sign sequence comes from :func:`~repro.cfi.modifiers.scheme_edge`
+    — the same table the whole-image verifier matches against.
     """
     out = []
     if scheme is not None:
         out.extend(
-            _scheme_edge(scheme, key, function_label, authenticate=False, compat=compat)
+            scheme_edge(scheme, key, function_label, authenticate=False, compat=compat)
         )
     out.append(isa.StpPre(FP, LR, SP, -16))
     out.append(isa.MovReg(FP, SP))
@@ -49,27 +52,9 @@ def frame_pop(scheme=None, key="ib", function_label=None, compat=False):
     out = [isa.LdpPost(FP, LR, SP, 16)]
     if scheme is not None:
         out.extend(
-            _scheme_edge(scheme, key, function_label, authenticate=True, compat=compat)
+            scheme_edge(scheme, key, function_label, authenticate=True, compat=compat)
         )
     return out
-
-
-def _scheme_edge(scheme, key, function_label, authenticate, compat):
-    if function_label is None and scheme.modifier_setup("x") is not None:
-        raise ReproError("this scheme needs the function label")
-    if not compat:
-        if authenticate:
-            return scheme.epilogue(function_label, key)
-        return scheme.prologue(function_label, key)
-    setup = scheme.modifier_setup(function_label)
-    if setup is None:
-        op = isa.AutSp(key) if authenticate else isa.PacSp(key)
-        return [op]
-    # HINT-space: value lives in X17, modifier in X16.  The setup
-    # sequences already leave the modifier in X16 (IP0); X17 (IP1) is a
-    # scratch they use *before* LR moves in, so the order below is safe.
-    op = isa.Aut1716(key) if authenticate else isa.Pac1716(key)
-    return list(setup) + [isa.MovReg(IP1, LR), op, isa.MovReg(LR, IP1)]
 
 
 class Compiler:

@@ -26,9 +26,12 @@ the simulated compiler) and *computes* the modifier value in Python
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.arch import isa
 from repro.arch.isa import SP
 from repro.arch.registers import IP0, IP1, LR
+from repro.errors import ReproError
 
 __all__ = [
     "ModifierScheme",
@@ -36,6 +39,11 @@ __all__ = [
     "PARTSScheme",
     "CamouflageScheme",
     "SCHEMES",
+    "scheme_edge",
+    "EdgeSpec",
+    "edge_signature",
+    "edge_table",
+    "modifier_identity",
 ]
 
 _MASK32 = 0xFFFFFFFF
@@ -200,3 +208,174 @@ SCHEMES = {
     "parts": PARTSScheme,
     "camouflage": CamouflageScheme,
 }
+
+
+# ---------------------------------------------------------------------------
+# the scheme-edge table: one source of truth for emitter and verifier
+# ---------------------------------------------------------------------------
+#
+# A *scheme edge* is the instruction sequence a scheme contributes at a
+# sign or authenticate site — modifier setup plus the PAC/AUT itself
+# (plus the X17 shuttle in compat builds).  The simulated compiler
+# emits these sequences (:mod:`repro.cfi.instrument`) and the
+# whole-image verifier (:mod:`repro.analysis.verifier`) re-derives the
+# same sequences as match templates, so the two can never drift apart.
+
+
+def scheme_edge(scheme, key, function_label, authenticate, compat=False):
+    """The instruction sequence of one sign/auth edge.
+
+    Normal builds use the scheme's own prologue/epilogue.  Compat
+    builds (Section 5.5) are restricted to HINT-space encodings: the
+    modifier is computed into X16 and LR shuttled through X17 around
+    ``PACIB1716``/``AUTIB1716``.
+    """
+    if function_label is None and scheme.modifier_setup("x") is not None:
+        raise ReproError("this scheme needs the function label")
+    if not compat:
+        if authenticate:
+            return scheme.epilogue(function_label, key)
+        return scheme.prologue(function_label, key)
+    setup = scheme.modifier_setup(function_label)
+    if setup is None:
+        op = isa.AutSp(key) if authenticate else isa.PacSp(key)
+        return [op]
+    # HINT-space: value lives in X17, modifier in X16.  The setup
+    # sequences already leave the modifier in X16 (IP0); X17 (IP1) is a
+    # scratch they use *before* LR moves in, so the order below is safe.
+    op = isa.Aut1716(key) if authenticate else isa.Pac1716(key)
+    return list(setup) + [isa.MovReg(IP1, LR), op, isa.MovReg(LR, IP1)]
+
+
+def _instruction_signature(instruction):
+    """Shape of one instruction with label-dependent operands wildcarded.
+
+    The ADR target and the MOVZ/MOVK immediates vary per function (the
+    PC-relative function address and the LTO function id), so they are
+    excluded — two edges of the same scheme in different functions must
+    produce the same signature.
+    """
+    # Aut variants subclass their Pac counterparts: check them first.
+    if isinstance(instruction, isa.AutSp):
+        return ("autsp", instruction.key)
+    if isinstance(instruction, isa.PacSp):
+        return ("pacsp", instruction.key)
+    if isinstance(instruction, isa.Aut1716):
+        return ("aut1716", instruction.key)
+    if isinstance(instruction, isa.Pac1716):
+        return ("pac1716", instruction.key)
+    if isinstance(instruction, isa.Aut):
+        return ("aut", instruction.key, instruction.rd, instruction.rn)
+    if isinstance(instruction, isa.Pac):
+        return ("pac", instruction.key, instruction.rd, instruction.rn)
+    if isinstance(instruction, isa.Adr):
+        return ("adr", instruction.rd)
+    if isinstance(instruction, isa.Bfi):
+        return (
+            "bfi",
+            instruction.rd,
+            instruction.rn,
+            instruction.lsb,
+            instruction.width,
+        )
+    if isinstance(instruction, isa.MovReg):
+        return ("mov", instruction.rd, instruction.rn)
+    if isinstance(instruction, isa.Movk):
+        return ("movk", instruction.rd, instruction.shift)
+    if isinstance(instruction, isa.Movz):
+        return ("movz", instruction.rd, instruction.shift)
+    return (type(instruction).__name__.lower(),)
+
+
+def edge_signature(instructions):
+    """Matchable shape of an instruction sequence."""
+    return tuple(_instruction_signature(i) for i in instructions)
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One expected sign/auth edge shape, derived from the emitter."""
+
+    scheme: str
+    key: str
+    compat: bool
+    authenticate: bool
+    signature: tuple
+
+    def __len__(self):
+        return len(self.signature)
+
+
+_EDGE_TABLE_CACHE = {}
+
+
+def edge_table(keys=("ia", "ib")):
+    """Every (scheme x key x direction x compat) edge shape.
+
+    Derived by running the *actual emitter* over a placeholder label,
+    so whatever :func:`scheme_edge` produces is exactly what the
+    verifier accepts.  Longest signatures first, so a matcher that
+    scans greedily prefers the full camouflage/PARTS sequence over any
+    shorter shape embedded in it.
+    """
+    cache_key = tuple(keys)
+    if cache_key in _EDGE_TABLE_CACHE:
+        return _EDGE_TABLE_CACHE[cache_key]
+    specs = []
+    seen = set()
+    for name, factory in SCHEMES.items():
+        for key in keys:
+            scheme = factory(key=key)
+            for compat in (False, True):
+                for authenticate in (False, True):
+                    sequence = scheme_edge(
+                        scheme, key, "__edge_probe__", authenticate, compat
+                    )
+                    signature = edge_signature(sequence)
+                    dedup = (name, key, authenticate, signature)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    specs.append(
+                        EdgeSpec(
+                            scheme=name,
+                            key=key,
+                            compat=compat,
+                            authenticate=authenticate,
+                            signature=signature,
+                        )
+                    )
+    specs.sort(key=len, reverse=True)
+    result = tuple(specs)
+    _EDGE_TABLE_CACHE[cache_key] = result
+    return result
+
+
+def modifier_identity(spec, window):
+    """What binds this edge's modifier: the collision-detection key.
+
+    Two sign sites in *different* functions sharing an identity under
+    the same key can substitute each other's signed pointers (paper
+    Section 3 replay/reuse argument):
+
+    * sp-only binds nothing but SP — every site shares one identity;
+    * PARTS binds the LTO function id (recovered from the MOVZ/MOVK
+      immediates of the matched window);
+    * camouflage binds the function address (the ADR target).
+    """
+    instructions = [instruction for _, instruction in window]
+    if spec.scheme == "sp-only":
+        return ("sp",)
+    if spec.scheme == "parts":
+        fid = 0
+        for instruction in instructions:
+            if isinstance(instruction, isa.Movz):
+                fid = (instruction.imm16 & 0xFFFF) << instruction.shift
+            elif isinstance(instruction, isa.Movk):
+                fid |= (instruction.imm16 & 0xFFFF) << instruction.shift
+        return ("fid", fid)
+    for instruction in instructions:
+        if isinstance(instruction, isa.Adr):
+            target = instruction.target
+            return ("fn", target if target is not None else instruction.label)
+    return ("unknown",)

@@ -145,6 +145,34 @@ class FaultManager:
             fault=fault,
         )
 
+    def log(self, kind, address=None, el=1, cycle=None):
+        """Append a kernel-originated log line outside the fault hook.
+
+        Used by subsystems that refuse work without taking a CPU fault
+        — e.g. the module loader rejecting an LKM that failed static
+        verification — so the operator sees the event in ``dmesg()``
+        next to real faults.
+        """
+        record = FaultRecord(
+            kind=kind,
+            address=address,
+            el=el,
+            task_id=self.current_task_id,
+            cycle=cycle,
+        )
+        self.records.append(record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault",
+                cycle=cycle,
+                fault=kind,
+                address=address,
+                el=el,
+                pauth=False,
+                task=self.current_task_id,
+            )
+        return record
+
     @property
     def remaining_attempts(self):
         """Guesses an attacker has left before the system halts."""

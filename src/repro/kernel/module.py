@@ -4,8 +4,11 @@ Loading an LKM in the protected kernel involves three extra steps over
 placing its sections:
 
 1. **static verification** — the module's text is scanned for key
-   reads, SCTLR corruption and unsanctioned key writes; a module that
-   fails the scan is rejected before any of its code can run;
+   reads, SCTLR corruption, unsanctioned key writes and PAC-strip
+   instructions, then run through the whole-image CFI verifier
+   (:mod:`repro.analysis.verifier`): sign/auth pairing, naked indirect
+   branches, signing oracles.  A module that fails either check is
+   rejected before any of its code can run, with a dmesg line;
 2. **sealing** — text and rodata frames are write-protected through the
    hypervisor's stage 2 (the threat model's read-only guarantee);
 3. **signed-pointer fixup** — the module's ``.pauth_ptrs`` table is
@@ -19,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.binscan import scan_image
+from repro.analysis.verifier import verify_image
 from repro.elfimage.ptrtable import sign_in_place
 from repro.errors import ReproError
 
@@ -58,13 +62,27 @@ class ModuleLoader:
 
     def load(self, image):
         """Load one module image; raises :class:`ModuleRejected` on a
-        failed static scan."""
-        report = scan_image(image)
+        failed static scan or CFI verification."""
+        report = scan_image(image, forbid_strip=True)
         if not report.ok:
+            self._log_rejection(image)
             raise ModuleRejected(
                 f"module {image.name!r} failed static verification:\n"
                 f"{report.summary()}",
                 report=report,
+            )
+        verdict = verify_image(
+            image,
+            profile=self.system.profile,
+            sealed_ranges=self._sealed_ranges(image),
+            module=True,
+        )
+        if not verdict.ok:
+            self._log_rejection(image)
+            raise ModuleRejected(
+                f"module {image.name!r} failed CFI verification:\n"
+                f"{verdict.summary()}",
+                report=verdict,
             )
         system = self.system
         loaded = system.loader.load(image)
@@ -81,6 +99,29 @@ class ModuleLoader:
             raise ReproError(f"module {image.name!r} already loaded")
         self.modules[image.name] = module
         return module
+
+    def _sealed_ranges(self, image):
+        """Read-only memory the module may legitimately dispatch
+        through: its own non-writable sections (sealed right after
+        placement), the kernel image's, and the syscall table page."""
+        ranges = []
+        images = [image]
+        kernel = getattr(self.system, "kernel_image", None)
+        if kernel is not None:
+            images.append(kernel)
+        for source in images:
+            for section in source.sections.values():
+                if not section.permissions.w_el1:
+                    ranges.append((section.base, section.base + section.size))
+        from repro.kernel.system import SYSCALL_TABLE  # circular at top
+
+        ranges.append((SYSCALL_TABLE, SYSCALL_TABLE + 0x1000))
+        return tuple(ranges)
+
+    def _log_rejection(self, image):
+        faults = getattr(self.system, "faults", None)
+        if faults is not None:
+            faults.log(f"module-rejected({image.name})")
 
     def _sign_pointers(self, image):
         """Walk the module's ``.pauth_ptrs`` table (Section 4.6)."""

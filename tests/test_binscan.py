@@ -69,6 +69,36 @@ class TestScan:
         report = scan_instructions(_at(isa.Msr("CONTEXTIDR_EL1", 0)))
         assert report.ok
 
+    def test_strip_allowed_by_default(self):
+        # XPACI is legitimate in the kernel proper (backtraces strip
+        # PACs for printing), so the plain scan tolerates it.
+        assert scan_instructions(_at(isa.Xpac(5))).ok
+
+    def test_strip_flagged_when_forbidden(self):
+        report = scan_instructions(_at(isa.Xpac(5)), forbid_strip=True)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.mnemonic == "xpaci"
+        assert violation.register == "x5"
+        assert "strips a PAC" in violation.reason
+
+    def test_xpacd_also_flagged(self):
+        report = scan_instructions(
+            _at(isa.Xpac(7, data=True)), forbid_strip=True
+        )
+        assert not report.ok
+        assert report.violations[0].mnemonic == "xpacd"
+
+    def test_strip_not_whitelistable_by_range(self):
+        # allowed_ranges only sanctions key writes; a strip stays a
+        # violation wherever it is.
+        report = scan_instructions(
+            _at(isa.Xpac(5)),
+            forbid_strip=True,
+            allowed_ranges=((0, 1 << 64),),
+        )
+        assert not report.ok
+
     def test_summary_lists_violations(self):
         report = scan_instructions(
             _at(isa.Mrs(0, "APIAKeyLo_EL1"), isa.Msr("SCTLR_EL1", 0))

@@ -1,0 +1,111 @@
+"""Tests for the ROP/JOP gadget census (repro.analysis.gadgets)."""
+
+from repro.arch import isa
+from repro.analysis.gadgets import MAX_GADGET_WINDOW, census
+from repro.arch.assembler import Program
+from repro.kernel import System
+
+BASE = 0x1000
+
+
+def _program(*instructions, base=BASE):
+    return Program(
+        base,
+        [(base + 4 * i, insn) for i, insn in enumerate(instructions)],
+        {"f": base},
+        ["f"],
+    )
+
+
+class TestWindows:
+    def test_plain_ret_windows_usable(self):
+        result = census(
+            _program(isa.Movz(0, 1, 0), isa.Movz(1, 2, 0), isa.Ret())
+        )
+        # one- and two-instruction windows ending at the RET
+        assert result.usable_count == 2
+        assert all(g.kind == "rop" for g in result.gadgets)
+        assert result.usable_terminators == 1
+
+    def test_aut_in_window_kills_it(self):
+        result = census(
+            _program(isa.Movz(0, 1, 0), isa.Aut("ia", 30, 16), isa.Ret())
+        )
+        # The 1-window [aut, ret] and the 2-window both contain the AUT.
+        assert result.usable_count == 0
+        assert result.usable_terminators == 0
+        assert result.terminator_count == 1
+
+    def test_reta_never_usable(self):
+        result = census(_program(isa.Movz(0, 1, 0), isa.RetA("ia")))
+        assert result.usable_count == 0
+        assert len(result.gadgets) == 1  # window still counted
+
+    def test_blra_bra_never_usable(self):
+        result = census(
+            _program(isa.Movz(0, 1, 0), isa.BlrA("ia", 3, 4)),
+        )
+        assert result.usable_count == 0
+        result = census(_program(isa.Movz(0, 1, 0), isa.BrA("ia", 3, 4)))
+        assert result.usable_count == 0
+
+    def test_blr_and_br_are_jop(self):
+        result = census(_program(isa.Movz(0, 1, 0), isa.Blr(3)))
+        assert result.count("jop", usable=True) == 1
+        result = census(_program(isa.Movz(0, 1, 0), isa.Br(3)))
+        assert result.count("jop", usable=True) == 1
+
+    def test_window_breaks_at_branch(self):
+        result = census(
+            _program(
+                isa.Movz(0, 1, 0),
+                isa.B("f"),
+                isa.Movz(1, 2, 0),
+                isa.Ret(),
+            )
+        )
+        # Only the [movz x1, ret] window survives: growing further hits
+        # the B, which ends the straight-line run.
+        lengths = sorted(g.length for g in result.usable)
+        assert lengths == [2]
+
+    def test_window_breaks_at_address_gap(self):
+        pairs = [
+            (BASE, isa.Movz(0, 1, 0)),
+            (BASE + 0x100, isa.Movz(1, 2, 0)),
+            (BASE + 0x104, isa.Ret()),
+        ]
+        program = Program(BASE, pairs, {"f": BASE}, ["f"])
+        lengths = sorted(g.length for g in census(program).usable)
+        assert lengths == [2]  # the gap stops the 3-instruction window
+
+    def test_window_length_capped(self):
+        body = [isa.Movz(0, i, 0) for i in range(10)] + [isa.Ret()]
+        result = census(_program(*body))
+        assert max(g.length for g in result.gadgets) == MAX_GADGET_WINDOW + 1
+        assert result.usable_count == MAX_GADGET_WINDOW
+
+    def test_summary_and_dict(self):
+        result = census(_program(isa.Movz(0, 1, 0), isa.Ret()), name="x")
+        assert "x:" in result.summary()
+        payload = result.to_dict()
+        assert payload["usable"] == result.usable_count
+        assert payload["terminators"] == 1
+
+
+class TestKernelCensus:
+    def test_instrumented_kernel_has_strictly_fewer_gadgets(self):
+        none = census(
+            System(profile="none").kernel_image, name="unprotected"
+        )
+        full = census(
+            System(profile="full").kernel_image, name="instrumented"
+        )
+        assert full.usable_count < none.usable_count
+        assert full.usable_terminators < none.usable_terminators
+
+    def test_census_counts_all_text(self):
+        system = System(profile="none")
+        result = census(system.kernel_image)
+        assert result.instructions > 0
+        assert result.terminator_count > 0

@@ -1,0 +1,134 @@
+"""Property-based tests for the CFI verifier (hypothesis).
+
+Two invariants over randomly generated compiler output:
+
+1. whatever the simulated compiler emits — any scheme, key, compat
+   mode, leaf shape, random body — verifies clean; and
+2. deleting any single *instrumentation* instruction (sign edge, spill,
+   auth edge) from a non-leaf function always produces a violation.
+
+Together these pin the verifier to the emitter: it accepts exactly the
+instrumentation contract and nothing weaker.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import isa
+from repro.arch.assembler import Assembler, Program
+from repro.analysis.verifier import verify_image
+from repro.cfi.instrument import Compiler
+from repro.cfi.modifiers import scheme_edge
+from repro.cfi.policy import ProtectionProfile
+
+BASE = 0x1000
+
+schemes = st.sampled_from(["sp-only", "parts", "camouflage"])
+keys = st.sampled_from(["ia", "ib"])
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+@st.composite
+def bodies(draw):
+    """A random straight-line function body (no control flow: the body
+    must not disturb LR for the pairing invariant to be exact)."""
+    makers = st.sampled_from(
+        [
+            lambda v: isa.Movz(0, v & 0xFFFF, 0),
+            lambda v: isa.Movz(9, v & 0xFFFF, 16),
+            lambda v: isa.AddImm(1, 1, v & 0xFFF),
+            lambda v: isa.MovReg(2, 3),
+            lambda v: isa.Nop(),
+            lambda v: isa.EorReg(4, 4, 5),
+        ]
+    )
+    count = draw(st.integers(min_value=0, max_value=6))
+    return [draw(makers)(draw(u16)) for _ in range(count)]
+
+
+def _build(scheme, key, compat, leaf, body):
+    from repro.cfi.keys import KeyAllocation
+
+    profile = ProtectionProfile(
+        name="prop",
+        backward_scheme=scheme,
+        compat=compat,
+        keys=KeyAllocation(backward=key),
+    )
+    asm = Assembler(BASE)
+    Compiler(profile).function(asm, "victim", body, leaf=leaf)
+    return profile, asm.assemble()
+
+
+def _instrumentation_indices(profile, program):
+    """Indices of the instrumentation instructions inside the emitted
+    function: the sign edge, the LR spill, and the auth edge.  (The
+    frame-pointer bookkeeping and the body are not instrumentation —
+    deleting those leaves a still-well-paired function.)"""
+    from repro.cfi.keys import KeyRole
+
+    scheme = profile.scheme
+    key = profile.key_for(KeyRole.BACKWARD)
+    sign = len(
+        scheme_edge(scheme, key, "victim", authenticate=False, compat=profile.compat)
+    )
+    auth = len(
+        scheme_edge(scheme, key, "victim", authenticate=True, compat=profile.compat)
+    )
+    total = len(program.instructions)
+    # layout: [sign edge][stp][mov fp][body ...][ldp][auth edge][ret]
+    indices = list(range(sign))  # the sign edge
+    indices.append(sign)  # the StpPre spill
+    indices.extend(range(total - 1 - auth, total - 1))  # the auth edge
+    return indices
+
+
+def _drop(program, index):
+    kept = [
+        insn for i, (_, insn) in enumerate(program.instructions) if i != index
+    ]
+    return Program(
+        program.base,
+        [(program.base + 4 * i, insn) for i, insn in enumerate(kept)],
+        {"victim": program.base},
+        ["victim"],
+    )
+
+
+class TestVerifierProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scheme=schemes,
+        key=keys,
+        compat=st.booleans(),
+        leaf=st.booleans(),
+        body=bodies(),
+    )
+    def test_compiler_output_always_verifies(
+        self, scheme, key, compat, leaf, body
+    ):
+        profile, program = _build(scheme, key, compat, leaf, body)
+        report = verify_image(program, profile=profile)
+        assert report.clean, report.summary()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scheme=schemes,
+        key=keys,
+        compat=st.booleans(),
+        body=bodies(),
+        choice=st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_dropping_instrumentation_always_violates(
+        self, scheme, key, compat, body, choice
+    ):
+        profile, program = _build(scheme, key, compat, leaf=False, body=body)
+        indices = _instrumentation_indices(profile, program)
+        index = indices[choice % len(indices)]
+        mutated = _drop(program, index)
+        report = verify_image(mutated, profile=profile)
+        dropped = program.instructions[index][1].text()
+        assert not report.ok, (
+            f"dropping instruction {index} ({dropped}) went undetected:\n"
+            f"{report.summary()}"
+        )

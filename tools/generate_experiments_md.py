@@ -21,6 +21,7 @@ from repro.bench import (
     run_fig2,
     run_fig3,
     run_fig4,
+    run_gadget_census,
     run_key_switch,
     run_replay_matrix,
     run_security_matrix,
@@ -103,6 +104,16 @@ def main():
     add(run_vmsa_tables())
     print("running E11 (compat)...")
     add(run_compat(iterations=100))
+    print("running E18 (gadget census)...")
+    add(
+        run_gadget_census(),
+        note=(
+            "the compat build keeps its terminator count: the "
+            "HINT-space X17 shuttle re-opens a one-instruction window "
+            "after each AUTIB1716, the residual §5.5 explicitly "
+            "trades for ARMv8.0 binary compatibility"
+        ),
+    )
     sections.append(
         "# Ablations — beyond the published tables\n\n"
         "The remaining experiments quantify arguments the paper makes "
